@@ -1,0 +1,145 @@
+//! Benchmarks that regenerate the paper's *figures* at miniature scale:
+//! Figure 2 (resource sensitivity), Figure 4 (DCRA vs SRA), Figure 5
+//! (DCRA vs fetch policies), Figures 6/7 (register/latency sensitivity)
+//! and the Section-5.2 extra statistics. Each bench exercises the exact
+//! experiment code path with reduced run lengths; the `smt-experiments`
+//! binaries produce the full-scale numbers recorded in EXPERIMENTS.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use smt_experiments::runner::{PolicyKind, RunSpec, Runner};
+use smt_experiments::sweep::sweep_policy;
+use smt_isa::{PerResource, ResourceKind};
+use smt_sim::SimConfig;
+
+fn tiny_lengths() -> RunSpec {
+    let mut s = RunSpec::new(&["gzip"], PolicyKind::Icount);
+    s.prewarm_insts = 20_000;
+    s.warmup_cycles = 1_000;
+    s.measure_cycles = 5_000;
+    s
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper/fig2_resource_sensitivity");
+    g.sample_size(10);
+    g.bench_function("one_point", |b| {
+        let runner = Runner::new();
+        let config = smt_experiments::fig2::fig2_config();
+        b.iter(|| {
+            let mut caps = PerResource::<Option<u32>>::default();
+            caps[ResourceKind::LsQueue] = Some(8);
+            let mut s =
+                RunSpec::new(&["gzip"], PolicyKind::SraCapped(caps)).with_config(config.clone());
+            s.prewarm_insts = 20_000;
+            s.warmup_cycles = 1_000;
+            s.measure_cycles = 5_000;
+            black_box(runner.run(&s))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper/fig4_dcra_vs_sra");
+    g.sample_size(10);
+    g.bench_function("mem2_group1", |b| {
+        let runner = Runner::new();
+        b.iter(|| {
+            let mut out = Vec::new();
+            for policy in [PolicyKind::dcra_for_latency(300), PolicyKind::Sra] {
+                let mut s = RunSpec::new(&["mcf", "twolf"], policy);
+                s.prewarm_insts = 20_000;
+                s.warmup_cycles = 1_000;
+                s.measure_cycles = 5_000;
+                out.push(runner.run(&s).throughput());
+            }
+            black_box(out)
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper/fig5_policy_sweep");
+    g.sample_size(10);
+    g.bench_function("icount_all_classes", |b| {
+        let runner = Runner::new();
+        let lengths = tiny_lengths();
+        b.iter(|| {
+            black_box(sweep_policy(
+                &runner,
+                &PolicyKind::Icount,
+                &SimConfig::baseline(2),
+                &lengths,
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig6_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper/fig6_fig7_sensitivity");
+    g.sample_size(10);
+    g.bench_function("fig6_one_register_point", |b| {
+        let runner = Runner::new();
+        b.iter(|| {
+            let mut config = SimConfig::baseline(2);
+            config.phys_regs = 320;
+            let mut s = RunSpec::new(&["swim", "mcf"], PolicyKind::dcra_for_latency(300))
+                .with_config(config);
+            s.prewarm_insts = 20_000;
+            s.warmup_cycles = 1_000;
+            s.measure_cycles = 5_000;
+            black_box(runner.run(&s))
+        });
+    });
+    g.bench_function("fig7_one_latency_point", |b| {
+        let runner = Runner::new();
+        b.iter(|| {
+            let mut config = SimConfig::baseline(2);
+            config.mem.memory_latency = 500;
+            config.mem.l2.latency = 25;
+            let mut s = RunSpec::new(&["swim", "mcf"], PolicyKind::dcra_for_latency(500))
+                .with_config(config);
+            s.prewarm_insts = 20_000;
+            s.warmup_cycles = 1_000;
+            s.measure_cycles = 5_000;
+            black_box(runner.run(&s))
+        });
+    });
+    g.finish();
+}
+
+fn bench_extra(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper/sec52_extra_stats");
+    g.sample_size(10);
+    g.bench_function("frontend_and_mlp", |b| {
+        let runner = Runner::new();
+        b.iter(|| {
+            let mut out = Vec::new();
+            for policy in [PolicyKind::FlushPlusPlus, PolicyKind::dcra_for_latency(300)] {
+                let mut s = RunSpec::new(&["art", "vpr"], policy);
+                s.prewarm_insts = 20_000;
+                s.warmup_cycles = 1_000;
+                s.measure_cycles = 5_000;
+                let o = runner.run(&s);
+                out.push((
+                    o.result.total_fetched() as f64 / o.result.total_committed().max(1) as f64,
+                    smt_metrics::workload_mlp(&o.result),
+                ));
+            }
+            black_box(out)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig2,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6_fig7,
+    bench_extra
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Benchmarks that regenerate the paper's *tables* at miniature scale:
+//! Table 1 (DCRA allocations), Table 3 (benchmark cache behaviour),
+//! Table 4 (workload construction) and Table 5 (phase distributions).
+//! Each bench runs the same code path as the corresponding
+//! `smt-experiments` binary, with run lengths cut down so `cargo bench`
+//! finishes quickly; run the binaries for the full-scale numbers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use smt_experiments::runner::{PolicyKind, RunSpec, Runner};
+use smt_experiments::{table1, table5};
+use smt_workloads::{spec, table4_workloads};
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("paper/table1_allocations", |b| {
+        b.iter(|| black_box(table1::run()));
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    // One representative MEM and one ILP benchmark at reduced length; the
+    // full 20-benchmark calibration is `cargo run --bin table3`.
+    let mut g = c.benchmark_group("paper/table3_calibration");
+    g.sample_size(10);
+    for name in ["mcf", "gzip"] {
+        g.bench_function(name, |b| {
+            let runner = Runner::new();
+            b.iter(|| {
+                let mut s = RunSpec::new(&[name], PolicyKind::Icount);
+                s.prewarm_insts = 30_000;
+                s.warmup_cycles = 2_000;
+                s.measure_cycles = 10_000;
+                black_box(runner.run(&s))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    c.bench_function("paper/table4_workloads", |b| {
+        b.iter(|| {
+            let ws = table4_workloads();
+            for w in &ws {
+                for bench in &w.benchmarks {
+                    black_box(spec::profile(bench));
+                }
+            }
+            ws
+        });
+    });
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper/table5_phases");
+    g.sample_size(10);
+    g.bench_function("2thread_sampling", |b| {
+        b.iter(|| black_box(table5::run(2_000)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table3,
+    bench_table4,
+    bench_table5
+);
+criterion_main!(benches);

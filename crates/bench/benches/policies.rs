@@ -1,0 +1,58 @@
+//! Whole-simulator throughput benchmarks: cycles simulated per second for
+//! each policy on a representative MIX workload. These are the numbers
+//! that determine how long the paper-scale experiment sweeps take.
+
+use bench::prepared_sim;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dcra::Dcra;
+use smt_policies::by_name;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_cycles");
+    g.throughput(Throughput::Elements(2_000));
+    for name in ["RR", "ICOUNT", "STALL", "FLUSH", "FLUSH++", "DG", "PDG", "SRA", "DCRA"] {
+        g.bench_function(format!("mix2/{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let policy: Box<dyn smt_sim::policy::Policy> = if name == "DCRA" {
+                        Box::new(Dcra::default())
+                    } else {
+                        by_name(name).expect("known policy")
+                    };
+                    prepared_sim(&["gzip", "mcf"], policy)
+                },
+                |mut sim| {
+                    sim.run_cycles(2_000);
+                    sim
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_scaling");
+    g.throughput(Throughput::Elements(2_000));
+    for (label, benches) in [
+        ("1thread", vec!["art"]),
+        ("2threads", vec!["art", "gcc"]),
+        ("4threads", vec!["art", "gcc", "twolf", "swim"]),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || prepared_sim(&benches, Box::new(Dcra::default())),
+                |mut sim| {
+                    sim.run_cycles(2_000);
+                    sim
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_thread_scaling);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Thread phase and resource-activity classification (paper Section 3.1).
+
+use smt_isa::{PerResource, ResourceKind, ThreadId};
+
+/// Execution-phase classification of a thread (Section 3.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadPhase {
+    /// No pending L1 data misses: the thread exploits ILP on a small,
+    /// rapidly recycling set of resources.
+    Fast,
+    /// At least one pending L1 data miss: the thread will hold resources
+    /// for a long time and benefits from extra entries (memory
+    /// parallelism).
+    Slow,
+}
+
+impl ThreadPhase {
+    /// Classifies from the pending L1 data-miss counter.
+    #[inline]
+    pub fn from_pending_misses(l1d_pending: u32) -> Self {
+        if l1d_pending > 0 {
+            ThreadPhase::Slow
+        } else {
+            ThreadPhase::Fast
+        }
+    }
+}
+
+/// Per-thread, per-resource activity counters (Section 3.1.2).
+///
+/// Every time a thread allocates an entry of a resource the counter resets
+/// to its initial value (256 in the paper); it decrements every cycle the
+/// resource goes unused. At zero the thread is *inactive* for that resource
+/// and its share is redistributed. The paper tracks activity only for the
+/// FP resources (an integer program never uses the FP queue or registers);
+/// integer and load/store resources are considered always active, which
+/// this implementation mirrors.
+///
+/// # Examples
+///
+/// ```
+/// use dcra::ActivityTracker;
+/// use smt_isa::{ResourceKind, ThreadId};
+///
+/// let mut a = ActivityTracker::new(2, 4); // tiny window for the example
+/// let t = ThreadId::new(0);
+/// assert!(a.is_active(t, ResourceKind::FpQueue));
+/// for _ in 0..4 { a.tick(); }
+/// assert!(!a.is_active(t, ResourceKind::FpQueue)); // decayed
+/// a.on_alloc(t, ResourceKind::FpQueue);
+/// assert!(a.is_active(t, ResourceKind::FpQueue));  // reset on use
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActivityTracker {
+    counters: Vec<PerResource<u32>>,
+    init: u32,
+}
+
+impl ActivityTracker {
+    /// The paper's initial/reset counter value (Section 3.4, chosen from a
+    /// 64–8192 sweep).
+    pub const DEFAULT_INIT: u32 = 256;
+
+    /// Creates a tracker for `threads` contexts with the given reset value.
+    /// All threads start *active* for every resource.
+    pub fn new(threads: usize, init: u32) -> Self {
+        ActivityTracker {
+            counters: vec![PerResource::filled(init); threads],
+            init,
+        }
+    }
+
+    /// Advances one cycle: decrements every FP-resource counter.
+    pub fn tick(&mut self) {
+        for c in &mut self.counters {
+            for kind in ResourceKind::ALL {
+                if kind.is_fp() {
+                    c[kind] = c[kind].saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// Resets the counter of `kind` for thread `t` (the thread allocated an
+    /// entry this cycle).
+    pub fn on_alloc(&mut self, t: ThreadId, kind: ResourceKind) {
+        self.counters[t.index()][kind] = self.init;
+    }
+
+    /// `true` if thread `t` currently competes for `kind`. Non-FP resources
+    /// are always active.
+    pub fn is_active(&self, t: ThreadId, kind: ResourceKind) -> bool {
+        !kind.is_fp() || self.counters[t.index()][kind] > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_follows_pending_counter() {
+        assert_eq!(ThreadPhase::from_pending_misses(0), ThreadPhase::Fast);
+        assert_eq!(ThreadPhase::from_pending_misses(1), ThreadPhase::Slow);
+        assert_eq!(ThreadPhase::from_pending_misses(7), ThreadPhase::Slow);
+    }
+
+    #[test]
+    fn non_fp_resources_always_active() {
+        let mut a = ActivityTracker::new(1, 2);
+        for _ in 0..100 {
+            a.tick();
+        }
+        let t = ThreadId::new(0);
+        assert!(a.is_active(t, ResourceKind::IntQueue));
+        assert!(a.is_active(t, ResourceKind::LsQueue));
+        assert!(a.is_active(t, ResourceKind::IntRegs));
+        assert!(!a.is_active(t, ResourceKind::FpQueue));
+        assert!(!a.is_active(t, ResourceKind::FpRegs));
+    }
+
+    #[test]
+    fn fp_activity_decays_and_resets() {
+        let mut a = ActivityTracker::new(2, 3);
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        a.tick();
+        a.tick();
+        // t0 keeps using the FP queue; t1 does not.
+        a.on_alloc(t0, ResourceKind::FpQueue);
+        a.tick();
+        assert!(a.is_active(t0, ResourceKind::FpQueue));
+        assert!(!a.is_active(t1, ResourceKind::FpQueue));
+        // FP regs decay independently of the FP queue.
+        assert!(!a.is_active(t0, ResourceKind::FpRegs));
+    }
+
+    #[test]
+    fn counters_saturate_at_zero() {
+        let mut a = ActivityTracker::new(1, 1);
+        for _ in 0..10 {
+            a.tick();
+        }
+        assert!(!a.is_active(ThreadId::new(0), ResourceKind::FpQueue));
+    }
+
+    #[test]
+    fn default_init_matches_paper() {
+        assert_eq!(ActivityTracker::DEFAULT_INIT, 256);
+    }
+}

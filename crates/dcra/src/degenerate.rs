@@ -1,0 +1,305 @@
+//! DCRA-DC: DCRA with degenerate-case detection — the extension the paper
+//! sketches as future work in Sections 5.2 and 5.3.
+//!
+//! The paper observes that mcf-like threads are *degenerate*: giving them
+//! extra entries does raise their number of overlapping misses, "however,
+//! this increase is hardly visible in the overall processor performance
+//! due to the extremely low baseline performance, and comes at the expense
+//! of slightly decreased performance of other threads". DCRA-DC detects
+//! such threads at run time and stops lending to them: a degenerate slow
+//! thread is entitled to its even share only (`C = 0` for it), while
+//! ordinary slow threads keep borrowing as usual.
+//!
+//! Detection: over fixed windows, a thread that was slow for most of the
+//! window *and* committed almost nothing is marked degenerate for the next
+//! window. The classification is continuously re-evaluated, like every
+//! other classification in DCRA.
+
+use crate::classify::{ActivityTracker, ThreadPhase};
+use crate::policy::DcraConfig;
+use crate::sharing::{slow_share, SharingFactor};
+use smt_isa::{PerResource, QueueKind, RegClass, ResourceKind, ThreadId};
+use smt_sim::policy::{CycleView, Policy};
+
+/// Configuration of the degenerate-case detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegenerateConfig {
+    /// Re-evaluation window in cycles.
+    pub window: u64,
+    /// A thread slow for more than this fraction of the window is a
+    /// candidate.
+    pub slow_fraction: f64,
+    /// Candidates whose window IPC is below this threshold are degenerate.
+    pub ipc_threshold: f64,
+}
+
+impl Default for DegenerateConfig {
+    fn default() -> Self {
+        DegenerateConfig {
+            window: 8192,
+            slow_fraction: 0.8,
+            ipc_threshold: 0.1,
+        }
+    }
+}
+
+/// DCRA with degenerate-thread detection (the paper's future-work
+/// extension).
+///
+/// # Examples
+///
+/// ```
+/// use dcra::DcraDc;
+/// use smt_sim::policy::Policy;
+///
+/// assert_eq!(DcraDc::default().name(), "DCRA-DC");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DcraDc {
+    config: DcraConfig,
+    detector: DegenerateConfig,
+    activity: Option<ActivityTracker>,
+    limits: PerResource<Option<u32>>,
+    gated: Vec<bool>,
+    phases: Vec<ThreadPhase>,
+    degenerate: Vec<bool>,
+    // Window bookkeeping.
+    window_start: u64,
+    slow_cycles: Vec<u64>,
+    committed_base: Vec<u64>,
+}
+
+impl Default for DcraDc {
+    fn default() -> Self {
+        DcraDc::new(DcraConfig::default(), DegenerateConfig::default())
+    }
+}
+
+impl DcraDc {
+    /// Creates the policy.
+    pub fn new(config: DcraConfig, detector: DegenerateConfig) -> Self {
+        DcraDc {
+            config,
+            detector,
+            activity: None,
+            limits: PerResource::default(),
+            gated: Vec::new(),
+            phases: Vec::new(),
+            degenerate: Vec::new(),
+            window_start: 0,
+            slow_cycles: Vec::new(),
+            committed_base: Vec::new(),
+        }
+    }
+
+    /// `true` if thread `t` is currently classified degenerate.
+    pub fn is_degenerate(&self, t: ThreadId) -> bool {
+        self.degenerate.get(t.index()).copied().unwrap_or(false)
+    }
+
+    fn roll_window(&mut self, view: &CycleView) {
+        let n = view.thread_count();
+        if self.slow_cycles.len() != n {
+            self.slow_cycles = vec![0; n];
+            self.committed_base = view.threads.iter().map(|t| t.committed).collect();
+            self.degenerate = vec![false; n];
+            self.window_start = view.now;
+            return;
+        }
+        for (i, tv) in view.threads.iter().enumerate() {
+            if tv.l1d_pending > 0 {
+                self.slow_cycles[i] += 1;
+            }
+        }
+        let elapsed = view.now.saturating_sub(self.window_start);
+        if elapsed < self.detector.window {
+            return;
+        }
+        for (i, tv) in view.threads.iter().enumerate() {
+            let slow_frac = self.slow_cycles[i] as f64 / elapsed as f64;
+            // Counters can rewind when the simulator resets statistics
+            // between warm-up and measurement.
+            let committed = tv.committed.saturating_sub(self.committed_base[i]);
+            let ipc = committed as f64 / elapsed as f64;
+            self.degenerate[i] =
+                slow_frac >= self.detector.slow_fraction && ipc < self.detector.ipc_threshold;
+            self.slow_cycles[i] = 0;
+            self.committed_base[i] = tv.committed;
+        }
+        self.window_start = view.now;
+    }
+}
+
+impl Policy for DcraDc {
+    fn name(&self) -> &str {
+        "DCRA-DC"
+    }
+
+    fn begin_cycle(&mut self, view: &CycleView) {
+        let n = view.thread_count();
+        self.roll_window(view);
+        let init = self.config.activity_init;
+        self.activity
+            .get_or_insert_with(|| ActivityTracker::new(n, init))
+            .tick();
+
+        self.phases = view
+            .threads
+            .iter()
+            .map(|t| ThreadPhase::from_pending_misses(t.l1d_pending))
+            .collect();
+        self.gated = vec![false; n];
+        let activity = self.activity.as_ref().expect("initialised above");
+
+        for kind in ResourceKind::ALL {
+            let mut fa = 0u32;
+            let mut sa = 0u32;
+            for i in 0..n {
+                if !activity.is_active(ThreadId::new(i), kind) {
+                    continue;
+                }
+                match self.phases[i] {
+                    ThreadPhase::Fast => fa += 1,
+                    ThreadPhase::Slow => sa += 1,
+                }
+            }
+            if sa == 0 {
+                self.limits[kind] = None;
+                continue;
+            }
+            let factor = if kind.is_queue() {
+                self.config.sharing.queue_factor
+            } else {
+                self.config.sharing.reg_factor
+            };
+            let e_slow = slow_share(view.totals[kind], fa, sa, factor);
+            // Degenerate threads are held to the even share of the active
+            // threads: they stop borrowing, ordinary slow threads keep the
+            // full entitlement.
+            let e_even = slow_share(view.totals[kind], fa, sa, SharingFactor::Zero);
+            self.limits[kind] = Some(e_slow);
+            for i in 0..n {
+                if self.phases[i] != ThreadPhase::Slow
+                    || !activity.is_active(ThreadId::new(i), kind)
+                {
+                    continue;
+                }
+                let cap = if self.degenerate[i] { e_even } else { e_slow };
+                if view.threads[i].usage[kind] >= cap {
+                    self.gated[i] = true;
+                }
+            }
+        }
+    }
+
+    fn fetch_order(&mut self, view: &CycleView) -> Vec<ThreadId> {
+        let mut order: Vec<usize> = (0..view.thread_count()).collect();
+        order.sort_by_key(|&i| (view.threads[i].icount, i));
+        order.into_iter().map(ThreadId::new).collect()
+    }
+
+    fn fetch_gate(&mut self, t: ThreadId, _view: &CycleView) -> bool {
+        !self.gated.get(t.index()).copied().unwrap_or(false)
+    }
+
+    fn on_dispatch(&mut self, t: ThreadId, queue: QueueKind, dest: Option<RegClass>) {
+        let activity = self
+            .activity
+            .as_mut()
+            .expect("on_dispatch before begin_cycle");
+        activity.on_alloc(t, queue.resource());
+        if let Some(d) = dest {
+            activity.on_alloc(t, d.resource());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_sim::policy::ThreadView;
+
+    fn view(now: u64, specs: &[(u32, u64)]) -> CycleView {
+        // (l1d_pending, committed)
+        CycleView {
+            now,
+            threads: specs
+                .iter()
+                .map(|&(l1p, committed)| ThreadView {
+                    l1d_pending: l1p,
+                    committed,
+                    ..ThreadView::default()
+                })
+                .collect(),
+            totals: PerResource::filled(32),
+        }
+    }
+
+    #[test]
+    fn detects_chronically_slow_unproductive_thread() {
+        let mut p = DcraDc::default();
+        let w = DegenerateConfig::default().window;
+        // Thread 0: always slow, never commits. Thread 1: fast, commits.
+        p.begin_cycle(&view(0, &[(1, 0), (0, 0)]));
+        for now in 1..=w + 1 {
+            p.begin_cycle(&view(now, &[(1, 10), (0, now * 2)]));
+        }
+        assert!(p.is_degenerate(ThreadId::new(0)));
+        assert!(!p.is_degenerate(ThreadId::new(1)));
+    }
+
+    #[test]
+    fn productive_slow_thread_is_not_degenerate() {
+        let mut p = DcraDc::default();
+        let w = DegenerateConfig::default().window;
+        // Slow but committing at IPC 0.5.
+        p.begin_cycle(&view(0, &[(1, 0)]));
+        for now in 1..=w + 1 {
+            p.begin_cycle(&view(now, &[(1, now / 2)]));
+        }
+        assert!(!p.is_degenerate(ThreadId::new(0)));
+    }
+
+    #[test]
+    fn degenerate_thread_loses_its_borrowed_share() {
+        let mut p = DcraDc::default();
+        let w = DegenerateConfig::default().window;
+        // Make thread 0 degenerate.
+        p.begin_cycle(&view(0, &[(1, 0), (0, 0)]));
+        for now in 1..=w + 1 {
+            p.begin_cycle(&view(now, &[(1, 0), (0, now * 2)]));
+        }
+        assert!(p.is_degenerate(ThreadId::new(0)));
+        // Usage 17 with 1 fast + 1 slow active: even share = 16, borrowed
+        // share (1/(A+4) at 2 active) = 16·(1+1/6) ≈ 19. A degenerate
+        // thread at usage 17 must be gated; an ordinary one must not.
+        let mut v = view(w + 2, &[(1, 0), (0, 0)]);
+        v.threads[0].usage = PerResource::filled(17);
+        p.begin_cycle(&v);
+        assert!(!p.fetch_gate(ThreadId::new(0), &v), "degenerate thread gated at even share");
+
+        let mut fresh = DcraDc::default();
+        fresh.begin_cycle(&v);
+        assert!(
+            fresh.fetch_gate(ThreadId::new(0), &v),
+            "non-degenerate thread keeps its borrowed share"
+        );
+    }
+
+    #[test]
+    fn classification_recovers() {
+        let mut p = DcraDc::default();
+        let w = DegenerateConfig::default().window;
+        p.begin_cycle(&view(0, &[(1, 0)]));
+        for now in 1..=w + 1 {
+            p.begin_cycle(&view(now, &[(1, 0)]));
+        }
+        assert!(p.is_degenerate(ThreadId::new(0)));
+        // Next window: the thread commits briskly again.
+        let base = w + 1;
+        for now in base + 1..=base + w + 1 {
+            p.begin_cycle(&view(now, &[(1, now * 2)]));
+        }
+        assert!(!p.is_degenerate(ThreadId::new(0)), "degeneracy must decay");
+    }
+}

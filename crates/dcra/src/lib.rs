@@ -1,0 +1,52 @@
+//! **DCRA — Dynamically Controlled Resource Allocation** for SMT
+//! processors, the contribution of Cazorla, Ramirez, Valero & Fernández
+//! (MICRO-37, 2004).
+//!
+//! DCRA is an *allocation* policy: instead of inferring resource abuse from
+//! indirect indicators and stalling/flushing threads (as fetch policies
+//! do), it directly monitors per-thread resource usage and computes, every
+//! cycle, how many entries of each shared resource every thread is entitled
+//! to:
+//!
+//! 1. **Thread phase classification** (§3.1.1): a thread with pending L1
+//!    data misses is *slow* (it will hold resources for a long time and
+//!    needs more of them to expose memory parallelism); otherwise it is
+//!    *fast* (it can run on a small, rapidly-cycling set of entries).
+//! 2. **Resource usage classification** (§3.1.2): a thread that has not
+//!    used a floating-point resource for 256 cycles is *inactive* for it
+//!    and donates its entire share.
+//! 3. **Sharing model** (§3.2): each slow-active thread may occupy
+//!    `E_slow = R/(FA+SA) · (1 + C·FA)` entries of resource `R`, borrowing
+//!    from the fast threads via the sharing factor `C`.
+//! 4. **Enforcement** (§3.4): a slow thread exceeding its allocation is
+//!    fetch-stalled until it drains below it; fast threads are
+//!    unrestricted.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcra::Dcra;
+//! use smt_sim::{SimConfig, Simulator};
+//! use smt_workloads::spec;
+//!
+//! let profiles = [spec::profile("gzip").unwrap(), spec::profile("mcf").unwrap()];
+//! let mut sim = Simulator::new(SimConfig::baseline(2), &profiles,
+//!                              Box::new(Dcra::default()), 1);
+//! sim.run_cycles(10_000);
+//! assert_eq!(sim.policy_name(), "DCRA");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classify;
+mod degenerate;
+mod policy;
+mod sharing;
+mod table_policy;
+
+pub use classify::{ActivityTracker, ThreadPhase};
+pub use degenerate::{DcraDc, DegenerateConfig};
+pub use policy::{Dcra, DcraConfig};
+pub use sharing::{allocation_table, slow_share, SharingConfig, SharingFactor, TableEntry};
+pub use table_policy::{AllocationRom, TableDcra};

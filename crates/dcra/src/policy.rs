@@ -1,0 +1,299 @@
+//! The DCRA policy: classification + sharing model + enforcement.
+
+use crate::classify::{ActivityTracker, ThreadPhase};
+use crate::sharing::{slow_share, SharingConfig};
+use serde::{Deserialize, Serialize};
+use smt_isa::{PerResource, QueueKind, RegClass, ResourceKind, ThreadId};
+use smt_sim::policy::{CycleView, Policy};
+
+/// Configuration of the DCRA policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DcraConfig {
+    /// Sharing factors for queues and registers (tune with
+    /// [`SharingConfig::for_memory_latency`] when sweeping latency).
+    pub sharing: SharingConfig,
+    /// Activity-counter reset value (paper: 256).
+    pub activity_init: u32,
+}
+
+impl Default for DcraConfig {
+    fn default() -> Self {
+        DcraConfig {
+            sharing: SharingConfig::default(),
+            activity_init: ActivityTracker::DEFAULT_INIT,
+        }
+    }
+}
+
+/// Dynamically Controlled Resource Allocation (the paper's proposal).
+///
+/// Every cycle DCRA re-classifies each thread as fast/slow (pending L1 data
+/// misses) and active/inactive per resource (activity counters), evaluates
+/// the sharing model for each of the five controlled resources, and
+/// fetch-stalls any slow-active thread whose usage meets or exceeds its
+/// entitlement. Fetch priority among unstalled threads is ICOUNT.
+///
+/// # Examples
+///
+/// ```
+/// use dcra::{Dcra, DcraConfig, SharingConfig};
+///
+/// // Baseline DCRA for the 300-cycle machine:
+/// let policy = Dcra::default();
+/// // DCRA tuned for a 500-cycle memory (Section 5.3):
+/// let tuned = Dcra::new(DcraConfig {
+///     sharing: SharingConfig::for_memory_latency(500),
+///     ..DcraConfig::default()
+/// });
+/// # let _ = (policy, tuned);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dcra {
+    config: DcraConfig,
+    activity: Option<ActivityTracker>,
+    /// Per-resource `E_slow` computed this cycle (`None` = unlimited).
+    limits: PerResource<Option<u32>>,
+    /// Threads gated this cycle.
+    gated: Vec<bool>,
+    /// Phase of each thread this cycle (exposed for the Table-5 study).
+    phases: Vec<ThreadPhase>,
+}
+
+impl Default for Dcra {
+    fn default() -> Self {
+        Dcra::new(DcraConfig::default())
+    }
+}
+
+impl Dcra {
+    /// Creates the policy with the given configuration.
+    pub fn new(config: DcraConfig) -> Self {
+        Dcra {
+            config,
+            activity: None,
+            limits: PerResource::default(),
+            gated: Vec::new(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// The per-resource slow-thread entitlements computed in the last
+    /// cycle (`None` where no limit applies).
+    pub fn current_limits(&self) -> &PerResource<Option<u32>> {
+        &self.limits
+    }
+
+    /// The phase assigned to thread `t` in the last cycle.
+    pub fn phase_of(&self, t: ThreadId) -> Option<ThreadPhase> {
+        self.phases.get(t.index()).copied()
+    }
+
+    /// `true` if thread `t` was fetch-gated in the last cycle.
+    pub fn is_gated(&self, t: ThreadId) -> bool {
+        self.gated.get(t.index()).copied().unwrap_or(false)
+    }
+
+    fn activity(&mut self, threads: usize) -> &mut ActivityTracker {
+        let init = self.config.activity_init;
+        self.activity
+            .get_or_insert_with(|| ActivityTracker::new(threads, init))
+    }
+}
+
+impl Policy for Dcra {
+    fn name(&self) -> &str {
+        "DCRA"
+    }
+
+    fn begin_cycle(&mut self, view: &CycleView) {
+        let n = view.thread_count();
+        self.activity(n).tick();
+
+        self.phases = view
+            .threads
+            .iter()
+            .map(|t| ThreadPhase::from_pending_misses(t.l1d_pending))
+            .collect();
+
+        self.gated = vec![false; n];
+        let activity = self.activity.as_ref().expect("initialised above");
+
+        for kind in ResourceKind::ALL {
+            // Count fast-active and slow-active threads for this resource.
+            let mut fa = 0u32;
+            let mut sa = 0u32;
+            for i in 0..n {
+                if !activity.is_active(ThreadId::new(i), kind) {
+                    continue;
+                }
+                match self.phases[i] {
+                    ThreadPhase::Fast => fa += 1,
+                    ThreadPhase::Slow => sa += 1,
+                }
+            }
+            if sa == 0 {
+                self.limits[kind] = None;
+                continue;
+            }
+            let factor = if kind.is_queue() {
+                self.config.sharing.queue_factor
+            } else {
+                self.config.sharing.reg_factor
+            };
+            let e_slow = slow_share(view.totals[kind], fa, sa, factor);
+            self.limits[kind] = Some(e_slow);
+
+            // Enforcement: gate slow-active threads at/above their share.
+            for i in 0..n {
+                if self.phases[i] == ThreadPhase::Slow
+                    && activity.is_active(ThreadId::new(i), kind)
+                    && view.threads[i].usage[kind] >= e_slow
+                {
+                    self.gated[i] = true;
+                }
+            }
+        }
+    }
+
+    fn fetch_order(&mut self, view: &CycleView) -> Vec<ThreadId> {
+        let mut order: Vec<usize> = (0..view.thread_count()).collect();
+        order.sort_by_key(|&i| (view.threads[i].icount, i));
+        order.into_iter().map(ThreadId::new).collect()
+    }
+
+    fn fetch_gate(&mut self, t: ThreadId, _view: &CycleView) -> bool {
+        !self.is_gated(t)
+    }
+
+    fn on_dispatch(&mut self, t: ThreadId, queue: QueueKind, dest: Option<RegClass>) {
+        let activity = self
+            .activity
+            .as_mut()
+            .expect("on_dispatch before begin_cycle");
+        activity.on_alloc(t, queue.resource());
+        if let Some(d) = dest {
+            activity.on_alloc(t, d.resource());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_sim::policy::ThreadView;
+
+    fn view(specs: &[(u32, u32, &[(ResourceKind, u32)])]) -> CycleView {
+        // (icount, l1d_pending, usage overrides)
+        CycleView {
+            now: 0,
+            threads: specs
+                .iter()
+                .map(|(ic, l1p, usages)| {
+                    let mut tv = ThreadView {
+                        icount: *ic,
+                        l1d_pending: *l1p,
+                        ..ThreadView::default()
+                    };
+                    for (k, v) in usages.iter() {
+                        tv.usage[*k] = *v;
+                    }
+                    tv
+                })
+                .collect(),
+            totals: PerResource::filled(32),
+        }
+    }
+
+    fn inverse_dcra() -> Dcra {
+        Dcra::new(DcraConfig {
+            sharing: SharingConfig {
+                queue_factor: crate::SharingFactor::Inverse,
+                reg_factor: crate::SharingFactor::Inverse,
+            },
+            ..DcraConfig::default()
+        })
+    }
+
+    #[test]
+    fn slow_thread_over_share_is_gated() {
+        let mut d = inverse_dcra();
+        // 2 threads: T0 slow holding 24 LSQ entries, T1 fast.
+        // E_slow = 32/2 * (1 + 1/2) = 24 -> usage 24 >= 24: gated.
+        let v = view(&[
+            (10, 1, &[(ResourceKind::LsQueue, 24)]),
+            (10, 0, &[]),
+        ]);
+        d.begin_cycle(&v);
+        assert_eq!(d.current_limits()[ResourceKind::LsQueue], Some(24));
+        assert!(d.is_gated(ThreadId::new(0)));
+        assert!(!d.is_gated(ThreadId::new(1)));
+        assert!(!d.fetch_gate(ThreadId::new(0), &v));
+        assert!(d.fetch_gate(ThreadId::new(1), &v));
+    }
+
+    #[test]
+    fn slow_thread_below_share_is_not_gated() {
+        let mut d = inverse_dcra();
+        let v = view(&[
+            (10, 1, &[(ResourceKind::LsQueue, 23)]),
+            (10, 0, &[]),
+        ]);
+        d.begin_cycle(&v);
+        assert!(!d.is_gated(ThreadId::new(0)));
+    }
+
+    #[test]
+    fn fast_threads_are_never_gated() {
+        let mut d = inverse_dcra();
+        // T0 fast but hogging the queue: DCRA leaves fast threads alone.
+        let v = view(&[
+            (10, 0, &[(ResourceKind::IntQueue, 32)]),
+            (10, 1, &[]),
+        ]);
+        d.begin_cycle(&v);
+        assert!(!d.is_gated(ThreadId::new(0)));
+    }
+
+    #[test]
+    fn no_slow_threads_means_no_limits() {
+        let mut d = inverse_dcra();
+        let v = view(&[(10, 0, &[]), (10, 0, &[])]);
+        d.begin_cycle(&v);
+        for kind in ResourceKind::ALL {
+            assert_eq!(d.current_limits()[kind], None);
+        }
+    }
+
+    #[test]
+    fn inactive_fp_threads_donate_their_share() {
+        let mut d = inverse_dcra();
+        // Let thread 1's FP activity decay to zero (integer thread), with
+        // thread 0 slow and FP-active via dispatches.
+        let v = view(&[(10, 1, &[]), (10, 0, &[])]);
+        for _ in 0..300 {
+            d.begin_cycle(&v);
+            d.on_dispatch(ThreadId::new(0), QueueKind::Fp, Some(RegClass::Fp));
+        }
+        // FP queue: only T0 active (SA=1, FA=0) -> full 32 entries.
+        assert_eq!(d.current_limits()[ResourceKind::FpQueue], Some(32));
+        // LSQ: both active (always-active resource), SA=1 FA=1 -> 24.
+        assert_eq!(d.current_limits()[ResourceKind::LsQueue], Some(24));
+    }
+
+    #[test]
+    fn phases_tracked_per_thread() {
+        let mut d = Dcra::default();
+        let v = view(&[(0, 2, &[]), (0, 0, &[])]);
+        d.begin_cycle(&v);
+        assert_eq!(d.phase_of(ThreadId::new(0)), Some(ThreadPhase::Slow));
+        assert_eq!(d.phase_of(ThreadId::new(1)), Some(ThreadPhase::Fast));
+    }
+
+    #[test]
+    fn fetch_order_is_icount() {
+        let mut d = Dcra::default();
+        let v = view(&[(9, 0, &[]), (3, 0, &[]), (6, 0, &[])]);
+        let order: Vec<usize> = d.fetch_order(&v).iter().map(|t| t.index()).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+}

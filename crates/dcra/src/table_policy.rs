@@ -1,0 +1,324 @@
+//! The table-driven DCRA implementation (paper Section 3.4, second
+//! option): instead of a combinational circuit evaluating the sharing
+//! formula every cycle, a direct-mapped read-only table indexed by the
+//! number of slow-active and fast-active threads supplies the allocation.
+//!
+//! The paper highlights this variant because it makes the sharing model
+//! *reprogrammable*: "changing the sharing model would be as easy as
+//! loading new values in this table. This is convenient, for example, when
+//! the memory latency changes." [`TableDcra::load`] is exactly that
+//! operation.
+
+use crate::classify::{ActivityTracker, ThreadPhase};
+use crate::policy::DcraConfig;
+use crate::sharing::{slow_share, SharingFactor};
+use smt_isa::{PerResource, QueueKind, RegClass, ResourceKind, ThreadId};
+use smt_sim::policy::{CycleView, Policy};
+
+/// A pre-computed allocation table for one resource: `E_slow` indexed by
+/// `(FA, SA)` with `SA ≥ 1` and `FA + SA ≤ threads`.
+///
+/// # Examples
+///
+/// ```
+/// use dcra::{AllocationRom, SharingFactor};
+///
+/// let rom = AllocationRom::precompute(32, 4, SharingFactor::Inverse);
+/// // Paper Table 1, entry 7: three fast-active, one slow-active.
+/// assert_eq!(rom.lookup(3, 1), Some(14));
+/// assert_eq!(rom.lookup(0, 0), None, "no slow threads: no limit");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocationRom {
+    threads: u32,
+    /// Dense `(fa, sa)` table; index = fa * (threads + 1) + sa.
+    entries: Vec<Option<u32>>,
+}
+
+impl AllocationRom {
+    /// Pre-computes the ROM for a resource with `total` entries on a
+    /// `threads`-context machine under the given sharing factor — the
+    /// "loading new values" step of the paper.
+    pub fn precompute(total: u32, threads: u32, factor: SharingFactor) -> Self {
+        let stride = threads + 1;
+        let mut entries = vec![None; (stride * stride) as usize];
+        for fa in 0..=threads {
+            for sa in 1..=threads {
+                if fa + sa > threads {
+                    continue;
+                }
+                entries[(fa * stride + sa) as usize] = Some(slow_share(total, fa, sa, factor));
+            }
+        }
+        AllocationRom { threads, entries }
+    }
+
+    /// Looks up the slow-thread entitlement for the given active counts.
+    /// Returns `None` when the combination carries no limit (no slow
+    /// threads, or counts outside the machine's range).
+    pub fn lookup(&self, fast_active: u32, slow_active: u32) -> Option<u32> {
+        if slow_active == 0 || fast_active + slow_active > self.threads {
+            return None;
+        }
+        let stride = self.threads + 1;
+        self.entries
+            .get((fast_active * stride + slow_active) as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// Number of populated rows (the paper quotes 10 for a 4-context
+    /// machine).
+    pub fn populated_rows(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+/// DCRA with table-driven allocation lookup — semantically identical to
+/// [`crate::Dcra`] (the combinational version) as long as the loaded ROMs
+/// were computed with the same sharing factors; the equivalence is covered
+/// by tests.
+#[derive(Debug, Clone)]
+pub struct TableDcra {
+    config: DcraConfig,
+    activity: Option<ActivityTracker>,
+    /// One ROM per controlled resource; `None` until the machine shape is
+    /// known (first cycle).
+    roms: Option<PerResource<AllocationRom>>,
+    limits: PerResource<Option<u32>>,
+    gated: Vec<bool>,
+    phases: Vec<ThreadPhase>,
+}
+
+impl Default for TableDcra {
+    fn default() -> Self {
+        TableDcra::new(DcraConfig::default())
+    }
+}
+
+impl TableDcra {
+    /// Creates the policy; ROMs are computed lazily on the first cycle
+    /// from the machine's resource totals and thread count.
+    pub fn new(config: DcraConfig) -> Self {
+        TableDcra {
+            config,
+            activity: None,
+            roms: None,
+            limits: PerResource::default(),
+            gated: Vec::new(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Replaces every ROM — the paper's "loading new values in this
+    /// table" reconfiguration (e.g. after a memory-latency change).
+    pub fn load(&mut self, roms: PerResource<AllocationRom>) {
+        self.roms = Some(roms);
+    }
+
+    /// The ROM set currently loaded, if any.
+    pub fn roms(&self) -> Option<&PerResource<AllocationRom>> {
+        self.roms.as_ref()
+    }
+
+    /// Per-resource limits computed in the last cycle.
+    pub fn current_limits(&self) -> &PerResource<Option<u32>> {
+        &self.limits
+    }
+
+    fn ensure_roms(&mut self, view: &CycleView) {
+        if self.roms.is_some() {
+            return;
+        }
+        let threads = view.thread_count() as u32;
+        let mut roms: Vec<AllocationRom> = Vec::with_capacity(ResourceKind::COUNT);
+        for kind in ResourceKind::ALL {
+            let factor = if kind.is_queue() {
+                self.config.sharing.queue_factor
+            } else {
+                self.config.sharing.reg_factor
+            };
+            roms.push(AllocationRom::precompute(
+                view.totals[kind],
+                threads,
+                factor,
+            ));
+        }
+        self.roms = Some(PerResource(
+            roms.try_into().expect("exactly COUNT roms built"),
+        ));
+    }
+}
+
+impl Policy for TableDcra {
+    fn name(&self) -> &str {
+        "DCRA"
+    }
+
+    fn begin_cycle(&mut self, view: &CycleView) {
+        let n = view.thread_count();
+        self.ensure_roms(view);
+        let init = self.config.activity_init;
+        self.activity
+            .get_or_insert_with(|| ActivityTracker::new(n, init))
+            .tick();
+
+        self.phases = view
+            .threads
+            .iter()
+            .map(|t| ThreadPhase::from_pending_misses(t.l1d_pending))
+            .collect();
+        self.gated = vec![false; n];
+
+        let activity = self.activity.as_ref().expect("initialised above");
+        let roms = self.roms.as_ref().expect("initialised above");
+        for kind in ResourceKind::ALL {
+            let mut fa = 0u32;
+            let mut sa = 0u32;
+            for i in 0..n {
+                if !activity.is_active(ThreadId::new(i), kind) {
+                    continue;
+                }
+                match self.phases[i] {
+                    ThreadPhase::Fast => fa += 1,
+                    ThreadPhase::Slow => sa += 1,
+                }
+            }
+            let e_slow = roms[kind].lookup(fa, sa);
+            self.limits[kind] = e_slow;
+            let Some(e_slow) = e_slow else { continue };
+            for i in 0..n {
+                if self.phases[i] == ThreadPhase::Slow
+                    && activity.is_active(ThreadId::new(i), kind)
+                    && view.threads[i].usage[kind] >= e_slow
+                {
+                    self.gated[i] = true;
+                }
+            }
+        }
+    }
+
+    fn fetch_order(&mut self, view: &CycleView) -> Vec<ThreadId> {
+        let mut order: Vec<usize> = (0..view.thread_count()).collect();
+        order.sort_by_key(|&i| (view.threads[i].icount, i));
+        order.into_iter().map(ThreadId::new).collect()
+    }
+
+    fn fetch_gate(&mut self, t: ThreadId, _view: &CycleView) -> bool {
+        !self.gated.get(t.index()).copied().unwrap_or(false)
+    }
+
+    fn on_dispatch(&mut self, t: ThreadId, queue: QueueKind, dest: Option<RegClass>) {
+        let activity = self
+            .activity
+            .as_mut()
+            .expect("on_dispatch before begin_cycle");
+        activity.on_alloc(t, queue.resource());
+        if let Some(d) = dest {
+            activity.on_alloc(t, d.resource());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dcra;
+    use smt_sim::policy::ThreadView;
+
+    #[test]
+    fn rom_matches_paper_table1() {
+        let rom = AllocationRom::precompute(32, 4, SharingFactor::Inverse);
+        assert_eq!(rom.populated_rows(), 10);
+        for (fa, sa, expect) in [
+            (0u32, 1u32, 32u32),
+            (1, 1, 24),
+            (3, 1, 14),
+            (2, 2, 12),
+            (0, 4, 8),
+        ] {
+            assert_eq!(rom.lookup(fa, sa), Some(expect), "FA={fa} SA={sa}");
+        }
+    }
+
+    #[test]
+    fn rom_rejects_out_of_range() {
+        let rom = AllocationRom::precompute(32, 4, SharingFactor::Inverse);
+        assert_eq!(rom.lookup(4, 1), None, "five active on a 4-way machine");
+        assert_eq!(rom.lookup(2, 0), None, "no slow threads");
+    }
+
+    fn view(specs: &[(u32, u32)]) -> CycleView {
+        CycleView {
+            now: 0,
+            threads: specs
+                .iter()
+                .map(|&(ic, l1p)| ThreadView {
+                    icount: ic,
+                    l1d_pending: l1p,
+                    ..ThreadView::default()
+                })
+                .collect(),
+            totals: PerResource::filled(32),
+        }
+    }
+
+    /// The table-driven and combinational implementations must compute the
+    /// same limits and the same gates for identical inputs.
+    #[test]
+    fn equivalent_to_combinational_dcra() {
+        let cfg = DcraConfig::default();
+        let mut table = TableDcra::new(cfg);
+        let mut comb = Dcra::new(cfg);
+        // Sweep every slow/fast combination of a 4-thread machine with
+        // varying usage.
+        for mask in 0u32..16 {
+            for usage in [0u32, 5, 9, 32] {
+                let mut v = view(&[
+                    (3, mask & 1),
+                    (7, (mask >> 1) & 1),
+                    (11, (mask >> 2) & 1),
+                    (2, (mask >> 3) & 1),
+                ]);
+                for t in &mut v.threads {
+                    t.usage = PerResource::filled(usage);
+                }
+                table.begin_cycle(&v);
+                comb.begin_cycle(&v);
+                assert_eq!(
+                    table.current_limits(),
+                    comb.current_limits(),
+                    "limits diverge for mask={mask} usage={usage}"
+                );
+                for i in 0..4 {
+                    let t = ThreadId::new(i);
+                    assert_eq!(
+                        table.fetch_gate(t, &v),
+                        comb.fetch_gate(t, &v),
+                        "gate diverges for thread {i}, mask={mask}, usage={usage}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn load_replaces_the_model() {
+        let mut p = TableDcra::default();
+        let v = view(&[(0, 1), (0, 0)]);
+        p.begin_cycle(&v); // builds default ROMs (1/(A+4) at 300 cycles)
+        let default_limit = p.current_limits()[ResourceKind::IntQueue];
+
+        // Reload with C = 0 tables: the slow share must shrink to the even
+        // split.
+        let roms: Vec<AllocationRom> = ResourceKind::ALL
+            .iter()
+            .map(|_| AllocationRom::precompute(32, 2, SharingFactor::Zero))
+            .collect();
+        p.load(PerResource(roms.try_into().expect("five roms")));
+        p.begin_cycle(&v);
+        let zero_limit = p.current_limits()[ResourceKind::IntQueue];
+        assert_eq!(zero_limit, Some(16));
+        assert!(zero_limit < default_limit, "reload must change the model");
+    }
+}

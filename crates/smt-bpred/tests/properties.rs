@@ -1,0 +1,77 @@
+//! Property-based tests of the branch-prediction substrate.
+
+use proptest::prelude::*;
+use smt_bpred::{BranchPredictor, BranchTargetBuffer, Gshare, PredictorConfig, ReturnAddressStack};
+use smt_isa::{BranchInfo, BranchKind, ThreadId};
+
+proptest! {
+    /// The RAS behaves like a bounded stack: for push/pop sequences within
+    /// capacity it matches a Vec-based model exactly.
+    #[test]
+    fn ras_matches_model_within_capacity(ops in proptest::collection::vec(any::<Option<u64>>(), 1..200)) {
+        let mut ras = ReturnAddressStack::new(256);
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Some(addr) => {
+                    if model.len() < 256 {
+                        ras.push(addr);
+                        model.push(addr);
+                    }
+                }
+                None => {
+                    prop_assert_eq!(ras.pop(), model.pop());
+                }
+            }
+            prop_assert_eq!(ras.len(), model.len());
+        }
+    }
+
+    /// BTB: a just-inserted entry is always retrievable with its latest
+    /// target.
+    #[test]
+    fn btb_returns_latest_target(pairs in proptest::collection::vec((0u64..1_000_000, 0u64..1_000_000), 1..100)) {
+        let mut btb = BranchTargetBuffer::new(256, 4);
+        for (pc, target) in pairs {
+            btb.insert(pc, target);
+            prop_assert_eq!(btb.lookup(pc), Some(target));
+        }
+    }
+
+    /// Gshare converges on any fixed-direction branch regardless of seed
+    /// history.
+    #[test]
+    fn gshare_learns_constant_branches(pc in 0u64..1_000_000, dir: bool, noise in 0u64..64) {
+        let mut g = Gshare::new(4096, 1);
+        let t = ThreadId::new(0);
+        // Pollute history a little first.
+        for i in 0..noise {
+            g.update(t, pc.wrapping_add(64 + i * 4), i % 3 == 0);
+        }
+        let mut correct = 0;
+        for _ in 0..200 {
+            if g.predict(t, pc) == dir {
+                correct += 1;
+            }
+            g.update(t, pc, dir);
+        }
+        prop_assert!(correct > 150, "only {correct}/200 correct on a constant branch");
+    }
+
+    /// The full predictor's misprediction detection agrees with a direct
+    /// recomputation for arbitrary outcomes.
+    #[test]
+    fn prediction_accounting_is_consistent(outcomes in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let mut bp = BranchPredictor::new(&PredictorConfig::default(), 1);
+        let t = ThreadId::new(0);
+        for (i, taken) in outcomes.iter().enumerate() {
+            let pc = 0x1000 + (i as u64 % 16) * 4;
+            let actual = BranchInfo { kind: BranchKind::Conditional, taken: *taken, target: 0x9000 };
+            let p = bp.predict(t, pc, BranchKind::Conditional);
+            bp.update(t, pc, actual, p);
+        }
+        let s = bp.stats();
+        prop_assert_eq!(s.cond_lookups, outcomes.len() as u64);
+        prop_assert!(s.cond_mispredicts <= s.cond_lookups);
+    }
+}

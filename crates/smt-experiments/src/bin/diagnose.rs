@@ -1,0 +1,63 @@
+//! Ad-hoc diagnostic runner: run one workload under one policy with full
+//! per-thread statistics. Usage:
+//!
+//! ```text
+//! cargo run --release -p smt-experiments --bin diagnose -- POLICY bench [bench ...]
+//! ```
+
+use smt_experiments::{PolicyKind, RunSpec, Runner};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (policy, benches): (PolicyKind, Vec<&str>) = if args.len() >= 2 {
+        let p = match args[0].as_str() {
+            "DCRA" => PolicyKind::dcra_for_latency(300),
+            other => match other {
+                "RR" => PolicyKind::RoundRobin,
+                "ICOUNT" => PolicyKind::Icount,
+                "STALL" => PolicyKind::Stall,
+                "FLUSH" => PolicyKind::Flush,
+                "FLUSH++" => PolicyKind::FlushPlusPlus,
+                "DG" => PolicyKind::DataGating,
+                "PDG" => PolicyKind::PredictiveDataGating,
+                "SRA" => PolicyKind::Sra,
+                _ => panic!("unknown policy {other}"),
+            },
+        };
+        (p, args[1..].iter().map(|s| s.as_str()).collect())
+    } else {
+        (PolicyKind::dcra_for_latency(300), vec!["gzip", "mcf"])
+    };
+
+    let runner = Runner::new();
+    let spec = RunSpec::new(&benches, policy);
+    let out = runner.run(&spec);
+    println!(
+        "{} on {}: throughput {:.3} IPC over {} cycles",
+        spec.policy.name(),
+        benches.join("+"),
+        out.throughput(),
+        out.result.cycles
+    );
+    for (i, b) in benches.iter().enumerate() {
+        let t = &out.result.threads[i];
+        let m = &out.mem[i];
+        println!(
+            "  T{i} {b:8} ipc={:.3} fetched={} committed={} squashed={} mispred={} \
+             gated={} l1d%={:.1} l2%={:.1} mlp={:.2} blk(rob/iq/reg/pol)={}/{}/{}/{}",
+            t.ipc(out.result.cycles),
+            t.fetched,
+            t.committed,
+            t.squashed,
+            t.mispredicts,
+            t.gated_cycles,
+            m.l1_miss_rate() * 100.0,
+            m.l2_miss_rate() * 100.0,
+            t.mlp(),
+            t.blocked_rob,
+            t.blocked_iq,
+            t.blocked_regs,
+            t.blocked_policy,
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates the Section-5.2 in-text measurements (front-end activity,
+//! memory parallelism).
+use smt_experiments::{extra, Runner};
+fn main() {
+    let runner = Runner::new();
+    let result = extra::run(&runner);
+    println!("Section 5.2 — front-end activity and memory parallelism\n");
+    println!("{}", extra::report(&result));
+}

@@ -1,0 +1,8 @@
+//! Regenerates paper Figure 6 (register-file size sensitivity).
+use smt_experiments::{fig6, Runner};
+fn main() {
+    let runner = Runner::new();
+    let result = fig6::run(&runner);
+    println!("Figure 6 — Hmean improvement of DCRA vs register pool size\n");
+    println!("{}", fig6::report(&result));
+}

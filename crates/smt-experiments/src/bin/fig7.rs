@@ -1,0 +1,8 @@
+//! Regenerates paper Figure 7 (memory latency sensitivity).
+use smt_experiments::{fig7, Runner};
+fn main() {
+    let runner = Runner::new();
+    let result = fig7::run(&runner);
+    println!("Figure 7 — Hmean improvement of DCRA vs memory latency\n");
+    println!("{}", fig7::report(&result));
+}

@@ -1,0 +1,8 @@
+//! Partial-partitioning study: which resources should be statically split?
+use smt_experiments::{partitioning, Runner};
+fn main() {
+    let runner = Runner::new();
+    let rows = partitioning::run(&runner, 200_000);
+    println!("Partial partitioning vs dynamic allocation — MIX2+MEM2 workloads\n");
+    println!("{}", partitioning::report(&rows));
+}

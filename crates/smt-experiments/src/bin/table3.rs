@@ -1,0 +1,8 @@
+//! Regenerates paper Table 3 (per-benchmark L2 miss rates / MEM-ILP split).
+use smt_experiments::{table3, Runner};
+fn main() {
+    let runner = Runner::new();
+    let rows = table3::run(&runner);
+    println!("Table 3 — benchmark cache behaviour (single-thread)\n");
+    println!("{}", table3::report(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Table 5 (phase distribution of 2-thread workloads).
+use smt_experiments::table5;
+fn main() {
+    let rows = table5::run(150_000);
+    println!("Table 5 — % of cycles in each phase combination (2 threads)\n");
+    println!("{}", table5::report(&rows));
+}

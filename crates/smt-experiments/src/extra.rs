@@ -1,0 +1,89 @@
+//! Section 5.2's in-text measurements: FLUSH++'s extra front-end activity
+//! relative to DCRA, and DCRA's memory-parallelism (overlapping L2 miss)
+//! advantage.
+
+use crate::runner::{PolicyKind, Runner};
+use crate::sweep::{sweep_lengths, sweep_policy, PolicySweep};
+use crate::tables::{f2, pct, TextTable};
+use smt_metrics::improvement_pct;
+use smt_sim::SimConfig;
+use smt_workloads::WorkloadType;
+
+/// Front-end activity and MLP comparison between FLUSH++ and DCRA.
+#[derive(Debug, Clone)]
+pub struct ExtraResult {
+    /// FLUSH++ sweep.
+    pub flushpp: PolicySweep,
+    /// DCRA sweep.
+    pub dcra: PolicySweep,
+}
+
+impl ExtraResult {
+    /// Extra fetched-per-committed work of FLUSH++ relative to DCRA, in
+    /// percent (paper: +108% at 300-cycle latency).
+    pub fn extra_frontend_pct(&self) -> f64 {
+        improvement_pct(
+            self.flushpp.average().fetch_per_commit,
+            self.dcra.average().fetch_per_commit,
+        )
+    }
+
+    /// MLP increase of DCRA over FLUSH++ per workload type, in percent
+    /// (paper: ILP +22%, MIX +32%, MEM +0.5%; avg +18%).
+    pub fn mlp_increase_by_type(&self) -> Vec<(WorkloadType, f64)> {
+        WorkloadType::ALL
+            .iter()
+            .map(|&kind| {
+                let avg = |s: &PolicySweep| {
+                    let vals: Vec<f64> = s
+                        .classes
+                        .iter()
+                        .filter(|(_, k, _)| *k == kind)
+                        .map(|(_, _, m)| m.mlp)
+                        .collect();
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                };
+                (kind, improvement_pct(avg(&self.dcra), avg(&self.flushpp)))
+            })
+            .collect()
+    }
+}
+
+/// Runs FLUSH++ and DCRA over the full workload set.
+pub fn run(runner: &Runner) -> ExtraResult {
+    let config = SimConfig::baseline(2);
+    let lengths = sweep_lengths();
+    ExtraResult {
+        flushpp: sweep_policy(runner, &PolicyKind::FlushPlusPlus, &config, &lengths),
+        dcra: sweep_policy(runner, &PolicyKind::dcra_for_latency(300), &config, &lengths),
+    }
+}
+
+/// Formats both in-text measurements.
+pub fn report(result: &ExtraResult) -> TextTable {
+    let mut t = TextTable::new(&["metric", "FLUSH++", "DCRA", "Δ"]);
+    t.row_owned(vec![
+        "fetched / committed".to_string(),
+        f2(result.flushpp.average().fetch_per_commit),
+        f2(result.dcra.average().fetch_per_commit),
+        pct(result.extra_frontend_pct()),
+    ]);
+    for (kind, imp) in result.mlp_increase_by_type() {
+        let avg_mlp = |s: &PolicySweep| {
+            let vals: Vec<f64> = s
+                .classes
+                .iter()
+                .filter(|(_, k, _)| *k == kind)
+                .map(|(_, _, m)| m.mlp)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        t.row_owned(vec![
+            format!("MLP ({kind})"),
+            f2(avg_mlp(&result.flushpp)),
+            f2(avg_mlp(&result.dcra)),
+            pct(imp),
+        ]);
+    }
+    t
+}

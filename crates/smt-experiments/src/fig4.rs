@@ -1,0 +1,81 @@
+//! Paper Figure 4: throughput and Hmean improvement of DCRA over static
+//! resource allocation (SRA), per workload class.
+
+use crate::runner::{PolicyKind, Runner};
+use crate::sweep::{sweep_lengths, sweep_policy, PolicySweep};
+use crate::tables::{pct, TextTable};
+use smt_metrics::improvement_pct;
+use smt_sim::SimConfig;
+use smt_workloads::WorkloadType;
+
+/// Both sweeps of the comparison.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// DCRA over all 36 workloads.
+    pub dcra: PolicySweep,
+    /// SRA over all 36 workloads.
+    pub sra: PolicySweep,
+}
+
+impl Fig4Result {
+    /// `(threads, kind, throughput improvement %, hmean improvement %)`.
+    pub fn improvements(&self) -> Vec<(usize, WorkloadType, f64, f64)> {
+        self.dcra
+            .classes
+            .iter()
+            .map(|(t, k, d)| {
+                let s = self.sra.class(*t, *k);
+                (
+                    *t,
+                    *k,
+                    improvement_pct(d.throughput, s.throughput),
+                    improvement_pct(d.hmean, s.hmean),
+                )
+            })
+            .collect()
+    }
+
+    /// Average `(throughput %, hmean %)` improvement (paper: ~7%, ~8%).
+    pub fn average_improvement(&self) -> (f64, f64) {
+        let rows = self.improvements();
+        let n = rows.len() as f64;
+        (
+            rows.iter().map(|r| r.2).sum::<f64>() / n,
+            rows.iter().map(|r| r.3).sum::<f64>() / n,
+        )
+    }
+}
+
+/// Runs DCRA and SRA over the full Table-4 workload set.
+pub fn run(runner: &Runner) -> Fig4Result {
+    let config = SimConfig::baseline(2);
+    let lengths = sweep_lengths();
+    let dcra = sweep_policy(runner, &PolicyKind::dcra_for_latency(300), &config, &lengths);
+    let sra = sweep_policy(runner, &PolicyKind::Sra, &config, &lengths);
+    Fig4Result { dcra, sra }
+}
+
+/// Formats the figure as a table of improvements per class.
+pub fn report(result: &Fig4Result) -> TextTable {
+    let mut t = TextTable::new(&["class", "DCRA tput", "SRA tput", "tput Δ", "hmean Δ"]);
+    for (threads, kind, tput_imp, hmean_imp) in result.improvements() {
+        let d = result.dcra.class(threads, kind);
+        let s = result.sra.class(threads, kind);
+        t.row_owned(vec![
+            format!("{kind}{threads}"),
+            format!("{:.2}", d.throughput),
+            format!("{:.2}", s.throughput),
+            pct(tput_imp),
+            pct(hmean_imp),
+        ]);
+    }
+    let (at, ah) = result.average_improvement();
+    t.row_owned(vec![
+        "avg".to_string(),
+        String::new(),
+        String::new(),
+        pct(at),
+        pct(ah),
+    ]);
+    t
+}

@@ -1,0 +1,172 @@
+//! Partial-partitioning study (the Section-5.1 discussion).
+//!
+//! The paper engages with Raasch & Reinhardt's finding that statically
+//! partitioning the issue queues barely matters, and argues the win comes
+//! from *dynamic, phase-aware* non-uniform allocation. This experiment
+//! makes that discussion concrete: it statically partitions each subset of
+//! the resource classes (none, queues only, registers only, both) and
+//! compares against DCRA's dynamic allocation on the same workloads.
+
+use crate::runner::{PolicyKind, RunSpec, Runner};
+use crate::tables::{f3, TextTable};
+use smt_isa::{PerResource, ResourceKind};
+use smt_metrics::hmean;
+use smt_workloads::{workloads_of, Workload, WorkloadType};
+
+/// Which resource classes a variant statically partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// Nothing partitioned: fully shared pool under ICOUNT.
+    None,
+    /// Issue queues split `R/T`, registers shared.
+    QueuesOnly,
+    /// Registers split `R/T`, queues shared.
+    RegistersOnly,
+    /// Everything split `R/T` (the paper's SRA).
+    All,
+    /// DCRA's dynamic allocation, for reference.
+    Dynamic,
+}
+
+impl Partition {
+    /// All variants, in presentation order.
+    pub const ALL: [Partition; 5] = [
+        Partition::None,
+        Partition::QueuesOnly,
+        Partition::RegistersOnly,
+        Partition::All,
+        Partition::Dynamic,
+    ];
+
+    /// Label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Partition::None => "shared (ICOUNT)",
+            Partition::QueuesOnly => "partition IQs",
+            Partition::RegistersOnly => "partition regs",
+            Partition::All => "partition all (SRA)",
+            Partition::Dynamic => "dynamic (DCRA)",
+        }
+    }
+
+    /// The policy realising this variant on a machine with `threads`
+    /// contexts and `totals` resource entries.
+    pub fn policy(self, threads: u32, totals: &PerResource<u32>) -> PolicyKind {
+        let caps_for = |kinds: &[ResourceKind]| {
+            let mut caps = PerResource::<Option<u32>>::default();
+            for k in kinds {
+                caps[*k] = Some((totals[*k] / threads).max(1));
+            }
+            caps
+        };
+        match self {
+            Partition::None => PolicyKind::Icount,
+            Partition::QueuesOnly => PolicyKind::SraCapped(caps_for(&[
+                ResourceKind::IntQueue,
+                ResourceKind::FpQueue,
+                ResourceKind::LsQueue,
+            ])),
+            Partition::RegistersOnly => PolicyKind::SraCapped(caps_for(&[
+                ResourceKind::IntRegs,
+                ResourceKind::FpRegs,
+            ])),
+            Partition::All => PolicyKind::Sra,
+            Partition::Dynamic => PolicyKind::dcra_for_latency(300),
+        }
+    }
+}
+
+/// One variant's average metrics over the study workloads.
+#[derive(Debug, Clone)]
+pub struct PartitionRow {
+    /// Variant.
+    pub partition: Partition,
+    /// Mean IPC throughput.
+    pub throughput: f64,
+    /// Mean Hmean.
+    pub hmean: f64,
+}
+
+/// The MIX2 + MEM2 workloads (where partitioning choices matter).
+pub fn study_workloads() -> Vec<Workload> {
+    let mut w = workloads_of(WorkloadType::Mix, 2);
+    w.extend(workloads_of(WorkloadType::Mem, 2));
+    w
+}
+
+/// Runs the study.
+pub fn run(runner: &Runner, measure_cycles: u64) -> Vec<PartitionRow> {
+    let workloads = study_workloads();
+    Partition::ALL
+        .iter()
+        .map(|&partition| {
+            let mut tput = 0.0;
+            let mut hm = 0.0;
+            for w in &workloads {
+                let mut spec = RunSpec::for_workload(
+                    w,
+                    partition.policy(
+                        w.threads() as u32,
+                        &smt_sim::SimConfig::baseline(w.threads()).resource_totals(),
+                    ),
+                );
+                spec.measure_cycles = measure_cycles;
+                let out = runner.run(&spec);
+                let singles = runner.single_ipcs(w, &spec.config, &spec);
+                tput += out.throughput();
+                hm += hmean(&out.ipcs(), &singles);
+            }
+            let n = workloads.len() as f64;
+            PartitionRow {
+                partition,
+                throughput: tput / n,
+                hmean: hm / n,
+            }
+        })
+        .collect()
+}
+
+/// Formats the study.
+pub fn report(rows: &[PartitionRow]) -> TextTable {
+    let mut t = TextTable::new(&["variant", "throughput", "hmean"]);
+    for r in rows {
+        t.row_owned(vec![
+            r.partition.label().to_string(),
+            f3(r.throughput),
+            f3(r.hmean),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_produce_distinct_policies() {
+        let totals = smt_sim::SimConfig::baseline(2).resource_totals();
+        let kinds: Vec<PolicyKind> = Partition::ALL
+            .iter()
+            .map(|p| p.policy(2, &totals))
+            .collect();
+        assert_eq!(kinds[0].name(), "ICOUNT");
+        assert_eq!(kinds[3].name(), "SRA");
+        assert_eq!(kinds[4].name(), "DCRA");
+        // Queue-only caps leave registers unlimited.
+        if let PolicyKind::SraCapped(caps) = &kinds[1] {
+            assert!(caps[ResourceKind::IntQueue].is_some());
+            assert!(caps[ResourceKind::IntRegs].is_none());
+        } else {
+            panic!("queues-only variant must be SraCapped");
+        }
+    }
+
+    #[test]
+    fn study_covers_mix_and_mem() {
+        let w = study_workloads();
+        assert_eq!(w.len(), 8);
+        assert!(w.iter().any(|w| w.kind == WorkloadType::Mix));
+        assert!(w.iter().any(|w| w.kind == WorkloadType::Mem));
+    }
+}

@@ -1,0 +1,328 @@
+//! Simulation runner: builds simulators from declarative specs, runs them
+//! (in parallel across OS threads) and caches single-thread baselines for
+//! the Hmean metric.
+
+use dcra::{Dcra, DcraConfig, SharingConfig};
+use smt_isa::{PerResource, ThreadId};
+use smt_policies as pol;
+use smt_sim::policy::Policy;
+use smt_sim::{SimConfig, SimResult, Simulator};
+use smt_workloads::{spec, Workload};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Which policy to run. A declarative, `Clone`able stand-in for
+/// `Box<dyn Policy>` so run specs can be sent across threads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyKind {
+    /// ROUND-ROBIN fetch.
+    RoundRobin,
+    /// ICOUNT fetch (Tullsen et al.).
+    Icount,
+    /// STALL (ICOUNT + stall on detected L2 miss).
+    Stall,
+    /// FLUSH (ICOUNT + flush on detected L2 miss).
+    Flush,
+    /// FLUSH++ (adaptive STALL/FLUSH).
+    FlushPlusPlus,
+    /// Data Gating (stall on pending L1 data miss).
+    DataGating,
+    /// Predictive Data Gating.
+    PredictiveDataGating,
+    /// Static even partitioning of all controlled resources.
+    Sra,
+    /// Static partitioning with explicit per-resource caps (Figure 2).
+    SraCapped(PerResource<Option<u32>>),
+    /// The paper's proposal, with its sharing-factor configuration.
+    Dcra(DcraConfig),
+}
+
+impl PolicyKind {
+    /// The paper's name for this policy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::RoundRobin => "RR",
+            PolicyKind::Icount => "ICOUNT",
+            PolicyKind::Stall => "STALL",
+            PolicyKind::Flush => "FLUSH",
+            PolicyKind::FlushPlusPlus => "FLUSH++",
+            PolicyKind::DataGating => "DG",
+            PolicyKind::PredictiveDataGating => "PDG",
+            PolicyKind::Sra | PolicyKind::SraCapped(_) => "SRA",
+            PolicyKind::Dcra(_) => "DCRA",
+        }
+    }
+
+    /// DCRA with the sharing factors tuned for `latency` (Section 5.3).
+    pub fn dcra_for_latency(latency: u32) -> Self {
+        PolicyKind::Dcra(DcraConfig {
+            sharing: SharingConfig::for_memory_latency(latency),
+            ..DcraConfig::default()
+        })
+    }
+
+    /// Instantiates the policy.
+    pub fn build(&self) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::RoundRobin => Box::new(smt_sim::policy::RoundRobin::default()),
+            PolicyKind::Icount => Box::new(pol::Icount),
+            PolicyKind::Stall => Box::new(pol::Stall),
+            PolicyKind::Flush => Box::new(pol::Flush),
+            PolicyKind::FlushPlusPlus => Box::new(pol::FlushPlusPlus::default()),
+            PolicyKind::DataGating => Box::new(pol::DataGating),
+            PolicyKind::PredictiveDataGating => Box::new(pol::PredictiveDataGating::default()),
+            PolicyKind::Sra => Box::new(pol::StaticAllocation::new()),
+            PolicyKind::SraCapped(caps) => Box::new(pol::StaticAllocation::with_caps(*caps)),
+            PolicyKind::Dcra(cfg) => Box::new(Dcra::new(*cfg)),
+        }
+    }
+}
+
+/// One simulation to run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Benchmark names, one per hardware thread.
+    pub benches: Vec<String>,
+    /// Policy to arbitrate them.
+    pub policy: PolicyKind,
+    /// Machine configuration (threads must equal `benches.len()`).
+    pub config: SimConfig,
+    /// Random seed for the trace generators.
+    pub seed: u64,
+    /// Functional cache warm-up (instructions per thread).
+    pub prewarm_insts: u64,
+    /// Timed warm-up cycles (discarded).
+    pub warmup_cycles: u64,
+    /// Measured cycles.
+    pub measure_cycles: u64,
+}
+
+impl RunSpec {
+    /// Standard measurement lengths: 400k-instruction functional warm-up,
+    /// 30k-cycle timed warm-up, 250k measured cycles.
+    pub fn new(benches: &[&str], policy: PolicyKind) -> Self {
+        let mut config = SimConfig::baseline(benches.len());
+        config.threads = benches.len();
+        RunSpec {
+            benches: benches.iter().map(|b| b.to_string()).collect(),
+            policy,
+            config,
+            seed: 42,
+            prewarm_insts: 400_000,
+            warmup_cycles: 30_000,
+            measure_cycles: 250_000,
+        }
+    }
+
+    /// Builds a spec for the benchmarks of a Table-4 workload.
+    pub fn for_workload(workload: &Workload, policy: PolicyKind) -> Self {
+        let names: Vec<&str> = workload.benchmarks.iter().map(|s| s.as_str()).collect();
+        RunSpec::new(&names, policy)
+    }
+
+    /// Replaces the machine configuration (keeps `threads` consistent).
+    pub fn with_config(mut self, mut config: SimConfig) -> Self {
+        config.threads = self.benches.len();
+        self.config = config;
+        self
+    }
+}
+
+/// Result of a run, with the memory statistics snapshot the experiments
+/// need in addition to the pipeline statistics.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Pipeline-side result (IPCs, fetch counts, MLP, ...).
+    pub result: SimResult,
+    /// Per-thread memory statistics (L1/L2 miss rates).
+    pub mem: Vec<smt_mem::ThreadMemStats>,
+}
+
+impl RunOutcome {
+    /// Convenience: per-thread IPCs.
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.result.ipcs()
+    }
+
+    /// Convenience: IPC throughput.
+    pub fn throughput(&self) -> f64 {
+        self.result.throughput()
+    }
+}
+
+/// Executes run specs and caches single-thread baseline IPCs.
+///
+/// # Examples
+///
+/// ```
+/// use smt_experiments::{PolicyKind, Runner, RunSpec};
+///
+/// let runner = Runner::new();
+/// let mut spec = RunSpec::new(&["gzip"], PolicyKind::Icount);
+/// spec.prewarm_insts = 10_000; // tiny run for the example
+/// spec.warmup_cycles = 1_000;
+/// spec.measure_cycles = 5_000;
+/// let out = runner.run(&spec);
+/// assert!(out.throughput() > 0.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Runner {
+    baselines: Mutex<HashMap<String, f64>>,
+}
+
+impl Runner {
+    /// Creates a runner with an empty baseline cache.
+    pub fn new() -> Self {
+        Runner::default()
+    }
+
+    /// Runs one spec to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a benchmark name is unknown.
+    pub fn run(&self, spec: &RunSpec) -> RunOutcome {
+        let profiles: Vec<_> = spec
+            .benches
+            .iter()
+            .map(|b| spec::profile(b).unwrap_or_else(|| panic!("unknown benchmark {b}")))
+            .collect();
+        let mut sim = Simulator::new(
+            spec.config.clone(),
+            &profiles,
+            spec.policy.build(),
+            spec.seed,
+        );
+        sim.prewarm(spec.prewarm_insts);
+        sim.run_cycles(spec.warmup_cycles);
+        sim.reset_stats();
+        sim.run_cycles(spec.measure_cycles);
+        let mem = (0..spec.benches.len())
+            .map(|i| sim.memory().thread_stats(ThreadId::new(i)))
+            .collect();
+        RunOutcome {
+            result: sim.result(),
+            mem,
+        }
+    }
+
+    /// Runs many specs in parallel (one OS thread per spec, bounded by the
+    /// available parallelism). Results are in spec order.
+    pub fn run_all(&self, specs: &[RunSpec]) -> Vec<RunOutcome> {
+        let limit = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let mut out: Vec<Option<RunOutcome>> = (0..specs.len()).map(|_| None).collect();
+        for chunk_ids in (0..specs.len()).collect::<Vec<_>>().chunks(limit) {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunk_ids
+                    .iter()
+                    .map(|&i| {
+                        let spec = &specs[i];
+                        (i, scope.spawn(move || Runner::new().run(spec)))
+                    })
+                    .collect();
+                for (i, h) in handles {
+                    out[i] = Some(h.join().expect("simulation thread panicked"));
+                }
+            });
+        }
+        out.into_iter().map(|o| o.expect("filled above")).collect()
+    }
+
+    /// Single-thread baseline IPC of `bench` on `config` (ICOUNT, full
+    /// machine), cached per (bench, machine shape).
+    pub fn single_ipc(&self, bench: &str, config: &SimConfig, lengths: &RunSpec) -> f64 {
+        let key = format!(
+            "{bench}|{}|{}|{}|{}",
+            config.phys_regs, config.iq_entries, config.mem.memory_latency, config.mem.l2.latency
+        );
+        if let Some(v) = self.baselines.lock().expect("poisoned").get(&key) {
+            return *v;
+        }
+        let mut spec = RunSpec::new(&[bench], PolicyKind::Icount);
+        spec.config = {
+            let mut c = config.clone();
+            c.threads = 1;
+            c
+        };
+        spec.prewarm_insts = lengths.prewarm_insts;
+        spec.warmup_cycles = lengths.warmup_cycles;
+        spec.measure_cycles = lengths.measure_cycles;
+        let ipc = self.run(&spec).throughput();
+        self.baselines.lock().expect("poisoned").insert(key, ipc);
+        ipc
+    }
+
+    /// Single-thread baselines for every benchmark of a workload.
+    pub fn single_ipcs(&self, workload: &Workload, config: &SimConfig, lengths: &RunSpec) -> Vec<f64> {
+        workload
+            .benchmarks
+            .iter()
+            .map(|b| self.single_ipc(b, config, lengths))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(benches: &[&str], policy: PolicyKind) -> RunSpec {
+        let mut s = RunSpec::new(benches, policy);
+        s.prewarm_insts = 20_000;
+        s.warmup_cycles = 2_000;
+        s.measure_cycles = 10_000;
+        s
+    }
+
+    #[test]
+    fn policy_kinds_build_and_name() {
+        for k in [
+            PolicyKind::RoundRobin,
+            PolicyKind::Icount,
+            PolicyKind::Stall,
+            PolicyKind::Flush,
+            PolicyKind::FlushPlusPlus,
+            PolicyKind::DataGating,
+            PolicyKind::PredictiveDataGating,
+            PolicyKind::Sra,
+            PolicyKind::Dcra(DcraConfig::default()),
+        ] {
+            assert_eq!(k.build().name(), k.name());
+        }
+    }
+
+    #[test]
+    fn run_produces_progress() {
+        let r = Runner::new();
+        let out = r.run(&tiny(&["gzip", "twolf"], PolicyKind::Icount));
+        assert!(out.throughput() > 0.1);
+        assert_eq!(out.mem.len(), 2);
+    }
+
+    #[test]
+    fn run_all_matches_individual_runs() {
+        let r = Runner::new();
+        let specs = vec![
+            tiny(&["gzip"], PolicyKind::Icount),
+            tiny(&["twolf"], PolicyKind::Dcra(DcraConfig::default())),
+        ];
+        let batch = r.run_all(&specs);
+        let solo0 = r.run(&specs[0]);
+        let solo1 = r.run(&specs[1]);
+        assert_eq!(batch[0].result, solo0.result, "parallel run must be deterministic");
+        assert_eq!(batch[1].result, solo1.result);
+    }
+
+    #[test]
+    fn baseline_cache_hits() {
+        let r = Runner::new();
+        let lengths = tiny(&["gzip"], PolicyKind::Icount);
+        let cfg = SimConfig::baseline(1);
+        let a = r.single_ipc("gzip", &cfg, &lengths);
+        let b = r.single_ipc("gzip", &cfg, &lengths);
+        assert_eq!(a, b);
+        assert!(a > 0.5);
+    }
+}

@@ -1,0 +1,180 @@
+//! Shared machinery for the policy-comparison figures: run a policy over
+//! the paper's 36 workloads and aggregate by workload class (the 9
+//! ILP/MIX/MEM × 2/3/4 classes of Section 4).
+
+use crate::runner::{PolicyKind, RunSpec, Runner};
+use smt_metrics::hmean;
+use smt_sim::SimConfig;
+use smt_workloads::{table4_workloads, Workload, WorkloadType};
+
+/// Aggregated metrics of one policy on one workload class.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassMetrics {
+    /// Mean IPC throughput over the class's four groups.
+    pub throughput: f64,
+    /// Mean Hmean over the four groups.
+    pub hmean: f64,
+    /// Mean fetched-per-committed ratio (front-end activity).
+    pub fetch_per_commit: f64,
+    /// Mean workload MLP (average overlapping L2 misses).
+    pub mlp: f64,
+}
+
+/// Results of a policy over all 9 classes, in `(threads, type)` order.
+#[derive(Debug, Clone)]
+pub struct PolicySweep {
+    /// Policy name.
+    pub policy: String,
+    /// `(threads, type, metrics)` rows for the 9 classes.
+    pub classes: Vec<(usize, WorkloadType, ClassMetrics)>,
+}
+
+impl PolicySweep {
+    /// Metrics of one class.
+    pub fn class(&self, threads: usize, kind: WorkloadType) -> ClassMetrics {
+        self.classes
+            .iter()
+            .find(|(t, k, _)| *t == threads && *k == kind)
+            .map(|(_, _, m)| *m)
+            .expect("class present")
+    }
+
+    /// Unweighted average over the 9 classes.
+    pub fn average(&self) -> ClassMetrics {
+        let n = self.classes.len() as f64;
+        ClassMetrics {
+            throughput: self.classes.iter().map(|(_, _, m)| m.throughput).sum::<f64>() / n,
+            hmean: self.classes.iter().map(|(_, _, m)| m.hmean).sum::<f64>() / n,
+            fetch_per_commit: self
+                .classes
+                .iter()
+                .map(|(_, _, m)| m.fetch_per_commit)
+                .sum::<f64>()
+                / n,
+            mlp: self.classes.iter().map(|(_, _, m)| m.mlp).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Runs `policy` over every Table-4 workload on `config` and aggregates per
+/// class. `lengths` provides the prewarm/warmup/measure cycle counts.
+pub fn sweep_policy(
+    runner: &Runner,
+    policy: &PolicyKind,
+    config: &SimConfig,
+    lengths: &RunSpec,
+) -> PolicySweep {
+    sweep_policy_threads(runner, policy, config, lengths, &[2, 3, 4])
+}
+
+/// Like [`sweep_policy`], restricted to the given thread counts. The
+/// sensitivity figures (6 and 7) use the 2-thread subset so the full
+/// register/latency sweeps stay tractable on one core; the class structure
+/// is unchanged.
+pub fn sweep_policy_threads(
+    runner: &Runner,
+    policy: &PolicyKind,
+    config: &SimConfig,
+    lengths: &RunSpec,
+    thread_counts: &[usize],
+) -> PolicySweep {
+    let workloads: Vec<_> = table4_workloads()
+        .into_iter()
+        .filter(|w| thread_counts.contains(&w.threads()))
+        .collect();
+    let specs: Vec<RunSpec> = workloads
+        .iter()
+        .map(|w| {
+            let mut s = RunSpec::for_workload(w, policy.clone()).with_config(config.clone());
+            s.prewarm_insts = lengths.prewarm_insts;
+            s.warmup_cycles = lengths.warmup_cycles;
+            s.measure_cycles = lengths.measure_cycles;
+            s
+        })
+        .collect();
+    let outs = runner.run_all(&specs);
+
+    let mut classes = Vec::new();
+    for &threads in thread_counts {
+        for kind in WorkloadType::ALL {
+            let group: Vec<(&Workload, &crate::runner::RunOutcome)> = workloads
+                .iter()
+                .zip(outs.iter())
+                .filter(|(w, _)| w.threads() == threads && w.kind == kind)
+                .collect();
+            let n = group.len() as f64;
+            let mut tput = 0.0;
+            let mut hm = 0.0;
+            let mut fpc = 0.0;
+            let mut mlp = 0.0;
+            for (w, out) in &group {
+                let singles = runner.single_ipcs(w, config, lengths);
+                tput += out.throughput();
+                hm += hmean(&out.ipcs(), &singles);
+                fpc += out.result.total_fetched() as f64
+                    / out.result.total_committed().max(1) as f64;
+                mlp += smt_metrics::workload_mlp(&out.result);
+            }
+            classes.push((
+                threads,
+                kind,
+                ClassMetrics {
+                    throughput: tput / n,
+                    hmean: hm / n,
+                    fetch_per_commit: fpc / n,
+                    mlp: mlp / n,
+                },
+            ));
+        }
+    }
+    PolicySweep {
+        policy: policy.name().to_string(),
+        classes,
+    }
+}
+
+/// Standard lengths for the figure sweeps (shorter than Table-3
+/// calibration; 36 workloads × several policies must finish in minutes).
+pub fn sweep_lengths() -> RunSpec {
+    let mut s = RunSpec::new(&["gzip"], PolicyKind::Icount);
+    s.prewarm_insts = 400_000;
+    s.warmup_cycles = 30_000;
+    s.measure_cycles = 250_000;
+    s
+}
+
+/// Reduced lengths for the multi-point sensitivity sweeps (Figures 6/7
+/// run 15 policy sweeps each).
+pub fn sensitivity_lengths() -> RunSpec {
+    let mut s = sweep_lengths();
+    s.prewarm_insts = 300_000;
+    s.warmup_cycles = 20_000;
+    s.measure_cycles = 150_000;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_aggregates_nine_classes() {
+        // Tiny lengths: structure test, not a measurement.
+        let runner = Runner::new();
+        let mut lengths = sweep_lengths();
+        lengths.prewarm_insts = 5_000;
+        lengths.warmup_cycles = 500;
+        lengths.measure_cycles = 2_000;
+        let sweep = sweep_policy(
+            &runner,
+            &PolicyKind::Icount,
+            &SimConfig::baseline(2),
+            &lengths,
+        );
+        assert_eq!(sweep.classes.len(), 9);
+        let avg = sweep.average();
+        assert!(avg.throughput > 0.0);
+        let m = sweep.class(2, WorkloadType::Mem);
+        assert!(m.throughput > 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests of the instruction/resource vocabulary.
+
+use proptest::prelude::*;
+use smt_isa::{
+    BranchKind, DecodedInst, InstClass, PerResource, QueueKind, RegClass, ResourceKind, ThreadId,
+};
+
+fn any_class() -> impl Strategy<Value = InstClass> {
+    (0..InstClass::ALL.len()).prop_map(|i| InstClass::ALL[i])
+}
+
+proptest! {
+    /// Queue and resource mappings are total and consistent: every class
+    /// maps to a queue whose resource is a queue resource.
+    #[test]
+    fn class_queue_resource_consistency(class in any_class()) {
+        let q = class.queue();
+        let r = q.resource();
+        prop_assert!(r.is_queue());
+        // FP classes go to the FP queue, memory classes to the LSQ.
+        if class.is_fp() {
+            prop_assert_eq!(q, QueueKind::Fp);
+        }
+        if class.is_mem() {
+            prop_assert_eq!(q, QueueKind::LoadStore);
+        }
+    }
+
+    /// Builder round trip: deps come back in insertion order, extra deps
+    /// overwrite the second slot only.
+    #[test]
+    fn builder_dep_semantics(d1 in 1u32..512, d2 in 1u32..512, d3 in 1u32..512) {
+        let i = DecodedInst::builder(InstClass::IntAlu, 0)
+            .dest(RegClass::Int)
+            .dep(d1)
+            .dep(d2)
+            .dep(d3)
+            .build();
+        prop_assert_eq!(i.deps()[0], Some(d1));
+        prop_assert_eq!(i.deps()[1], Some(d3), "third dep overwrites slot 2");
+    }
+
+    /// PerResource is a faithful dense map over ResourceKind.
+    #[test]
+    fn per_resource_is_a_dense_map(vals in proptest::collection::vec(0u32..1000, 5)) {
+        let mut t = PerResource::<u32>::default();
+        for (kind, v) in ResourceKind::ALL.iter().zip(&vals) {
+            t[*kind] = *v;
+        }
+        for (kind, v) in ResourceKind::ALL.iter().zip(&vals) {
+            prop_assert_eq!(t[*kind], *v);
+        }
+        let collected: Vec<u32> = t.iter().map(|(_, v)| *v).collect();
+        prop_assert_eq!(collected, vals);
+    }
+
+    /// ThreadId round trips through its index for the supported range.
+    #[test]
+    fn thread_id_round_trip(i in 0usize..ThreadId::MAX_THREADS) {
+        prop_assert_eq!(ThreadId::new(i).index(), i);
+    }
+
+    /// Branch info round trips through the builder.
+    #[test]
+    fn branch_info_round_trip(taken: bool, target in 0u64..u64::MAX / 2) {
+        let i = DecodedInst::builder(InstClass::Branch, 0x40)
+            .branch(BranchKind::Conditional, taken, target)
+            .build();
+        let b = i.branch.expect("builder attached branch info");
+        prop_assert_eq!(b.taken, taken);
+        prop_assert_eq!(b.target, target);
+        prop_assert_eq!(i.is_cond_branch(), true);
+    }
+}

@@ -1,0 +1,138 @@
+//! Miss-status handling registers: outstanding-fill tracking and
+//! memory-level-parallelism accounting.
+
+use crate::HitLevel;
+use smt_isa::ThreadId;
+use std::collections::HashMap;
+
+/// One outstanding cache fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutstandingMiss {
+    /// Cycle at which the fill completes.
+    pub ready_at: u64,
+    /// Thread that initiated the miss.
+    pub owner: ThreadId,
+    /// Level the fill is coming from (L2 or memory).
+    pub level: HitLevel,
+}
+
+/// The MSHR file: a map from line address to its in-flight fill.
+///
+/// Lines are inserted when a miss leaves the L1 and removed lazily once
+/// their `ready_at` has passed. The file answers two questions the rest of
+/// the simulator needs:
+///
+/// 1. *Coalescing*: "is this line already being fetched, and how long until
+///    it arrives?" ([`MshrFile::remaining`]).
+/// 2. *MLP accounting*: "how many L2 misses does each thread have in flight
+///    right now?" ([`MshrFile::outstanding_per_thread`]), the statistic
+///    behind the paper's Section 5.2 memory-parallelism comparison.
+#[derive(Debug, Clone, Default)]
+pub struct MshrFile {
+    entries: HashMap<u64, OutstandingMiss>,
+}
+
+impl MshrFile {
+    /// Creates an empty MSHR file.
+    pub fn new() -> Self {
+        MshrFile::default()
+    }
+
+    /// Registers a fill for `line`, owned by `owner`, completing at
+    /// `ready_at`. An existing in-flight entry for the same line is kept
+    /// (first requester wins, as hardware MSHRs merge secondary misses).
+    pub fn allocate(&mut self, line: u64, owner: ThreadId, level: HitLevel, ready_at: u64) {
+        self.entries.entry(line).or_insert(OutstandingMiss {
+            ready_at,
+            owner,
+            level,
+        });
+    }
+
+    /// Remaining cycles until `line`'s fill completes, or `None` if no fill
+    /// is in flight at `now`. Completed entries are garbage-collected.
+    pub fn remaining(&mut self, line: u64, now: u64) -> Option<u32> {
+        match self.entries.get(&line) {
+            Some(e) if e.ready_at > now => Some((e.ready_at - now) as u32),
+            Some(_) => {
+                self.entries.remove(&line);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Fill level of an in-flight line (L1 hit-under-miss classification).
+    /// Returns [`HitLevel::L1`] if the line is not tracked.
+    pub fn level_of(&self, line: u64) -> HitLevel {
+        self.entries
+            .get(&line)
+            .map(|e| e.level)
+            .unwrap_or(HitLevel::L1)
+    }
+
+    /// Number of *memory-level* (L2-miss) fills in flight per thread at
+    /// `now`. Expired entries are purged as a side effect.
+    pub fn outstanding_per_thread(&mut self, now: u64, threads: usize) -> Vec<u32> {
+        self.entries.retain(|_, e| e.ready_at > now);
+        let mut counts = vec![0u32; threads];
+        for e in self.entries.values() {
+            if e.level == HitLevel::Memory {
+                counts[e.owner.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Number of tracked in-flight fills (any level).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no fills are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_counts_down_and_expires() {
+        let mut m = MshrFile::new();
+        m.allocate(42, ThreadId::new(0), HitLevel::Memory, 100);
+        assert_eq!(m.remaining(42, 60), Some(40));
+        assert_eq!(m.remaining(42, 100), None, "fill completed at 100");
+        assert!(m.is_empty(), "expired entry is collected");
+    }
+
+    #[test]
+    fn first_requester_wins_on_merge() {
+        let mut m = MshrFile::new();
+        m.allocate(7, ThreadId::new(0), HitLevel::Memory, 50);
+        m.allocate(7, ThreadId::new(1), HitLevel::L2, 90);
+        assert_eq!(m.remaining(7, 0), Some(50));
+        assert_eq!(m.level_of(7), HitLevel::Memory);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn mlp_counts_only_memory_level_fills() {
+        let mut m = MshrFile::new();
+        m.allocate(1, ThreadId::new(0), HitLevel::Memory, 400);
+        m.allocate(2, ThreadId::new(0), HitLevel::L2, 400);
+        m.allocate(3, ThreadId::new(1), HitLevel::Memory, 400);
+        assert_eq!(m.outstanding_per_thread(0, 2), vec![1, 1]);
+    }
+
+    #[test]
+    fn outstanding_purges_expired() {
+        let mut m = MshrFile::new();
+        m.allocate(1, ThreadId::new(0), HitLevel::Memory, 10);
+        m.allocate(2, ThreadId::new(0), HitLevel::Memory, 500);
+        assert_eq!(m.outstanding_per_thread(100, 1), vec![1]);
+        assert_eq!(m.len(), 1);
+    }
+}

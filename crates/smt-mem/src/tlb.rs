@@ -1,0 +1,118 @@
+//! Data translation lookaside buffer.
+
+use serde::{Deserialize, Serialize};
+
+/// TLB hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Translations requested.
+    pub accesses: u64,
+    /// Translations that missed.
+    pub misses: u64,
+}
+
+/// A fully-associative, LRU data TLB (one per hardware thread).
+///
+/// # Examples
+///
+/// ```
+/// use smt_mem::Tlb;
+///
+/// let mut tlb = Tlb::new(4, 8192);
+/// assert!(!tlb.access(0x0));      // cold miss
+/// assert!(tlb.access(0x1fff));    // same 8KB page
+/// assert!(!tlb.access(0x2000));   // next page
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    pages: Vec<u64>,
+    lru: Vec<u64>,
+    page_shift: u32,
+    tick: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` slots and `page_bytes`-sized pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `page_bytes` is not a power of two.
+    pub fn new(entries: usize, page_bytes: u64) -> Self {
+        assert!(entries > 0, "TLB needs at least one entry");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        Tlb {
+            pages: vec![u64::MAX; entries],
+            lru: vec![0; entries],
+            page_shift: page_bytes.trailing_zeros(),
+            tick: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Translates `addr`; on miss, installs the page (evicting LRU).
+    /// Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stats.accesses += 1;
+        self.tick += 1;
+        let page = addr >> self.page_shift;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for i in 0..self.pages.len() {
+            if self.pages[i] == page {
+                self.lru[i] = self.tick;
+                return true;
+            }
+            if self.lru[i] < oldest {
+                oldest = self.lru[i];
+                victim = i;
+            }
+        }
+        self.stats.misses += 1;
+        self.pages[victim] = page;
+        self.lru[victim] = self.tick;
+        false
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(8, 4096);
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1ffc));
+        assert!(!t.access(0x2000));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2, 4096);
+        t.access(0x0000); // page 0
+        t.access(0x1000); // page 1
+        t.access(0x0000); // refresh page 0
+        t.access(0x2000); // evicts page 1
+        assert!(t.access(0x0000));
+        assert!(!t.access(0x1000), "page 1 was LRU-evicted");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut t = Tlb::new(4, 4096);
+        for i in 0..8u64 {
+            t.access(i * 4096);
+        }
+        assert_eq!(t.stats().accesses, 8);
+        assert_eq!(t.stats().misses, 8);
+    }
+}

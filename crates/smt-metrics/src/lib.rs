@@ -1,0 +1,189 @@
+//! SMT performance metrics used by the paper's evaluation (Section 5).
+//!
+//! * **IPC throughput** — the sum of per-thread IPCs; measures how
+//!   effectively resources are used, but can be gamed by starving slow
+//!   threads.
+//! * **Hmean** (Luo, Gummaraju & Franklin, ISPASS'01) — the harmonic mean
+//!   of each thread's speedup relative to running alone, the paper's
+//!   fairness/throughput-balance metric.
+//! * **Weighted speedup** (Tullsen & Brown) — the arithmetic mean of the
+//!   relative IPCs, reported for completeness.
+//! * **MLP** — average overlapping L2 misses while at least one is
+//!   outstanding (Section 5.2's memory-parallelism measurements).
+//! * **Front-end activity** — fetched instructions, including flush-induced
+//!   refetch (the 108%-extra-fetch comparison of Section 5.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use smt_metrics::{hmean, throughput};
+//!
+//! let multi = [1.2, 0.3];   // IPCs running together
+//! let single = [2.4, 0.6];  // IPCs running alone
+//! assert_eq!(throughput(&multi), 1.5);
+//! assert!((hmean(&multi, &single) - 0.5).abs() < 1e-12); // both at half speed
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use smt_sim::SimResult;
+
+/// IPC throughput: the sum of per-thread IPCs.
+pub fn throughput(ipcs: &[f64]) -> f64 {
+    ipcs.iter().sum()
+}
+
+/// Per-thread relative IPCs (speedups vs single-thread execution).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or a baseline IPC is not
+/// positive (a benchmark cannot have zero single-thread IPC).
+pub fn speedups(multi_ipcs: &[f64], single_ipcs: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        multi_ipcs.len(),
+        single_ipcs.len(),
+        "need one baseline IPC per thread"
+    );
+    multi_ipcs
+        .iter()
+        .zip(single_ipcs)
+        .map(|(&m, &s)| {
+            assert!(s > 0.0, "single-thread baseline IPC must be positive");
+            m / s
+        })
+        .collect()
+}
+
+/// The Hmean metric: harmonic mean of per-thread speedups. Exposes
+/// "artificial" throughput obtained by starving slow threads — a policy
+/// that runs one thread at full speed and another at zero scores 0.
+pub fn hmean(multi_ipcs: &[f64], single_ipcs: &[f64]) -> f64 {
+    let sp = speedups(multi_ipcs, single_ipcs);
+    let n = sp.len() as f64;
+    let denom: f64 = sp.iter().map(|&s| if s > 0.0 { 1.0 / s } else { f64::INFINITY }).sum();
+    if denom.is_infinite() {
+        0.0
+    } else {
+        n / denom
+    }
+}
+
+/// Weighted speedup: arithmetic mean of per-thread speedups.
+pub fn weighted_speedup(multi_ipcs: &[f64], single_ipcs: &[f64]) -> f64 {
+    let sp = speedups(multi_ipcs, single_ipcs);
+    sp.iter().sum::<f64>() / sp.len() as f64
+}
+
+/// Relative improvement of `ours` over `baseline`, in percent.
+pub fn improvement_pct(ours: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (ours / baseline - 1.0) * 100.0
+    }
+}
+
+/// Workload-level memory parallelism: average of the per-thread MLP values
+/// over threads that had any outstanding L2 miss.
+pub fn workload_mlp(result: &SimResult) -> f64 {
+    let vals: Vec<f64> = result
+        .threads
+        .iter()
+        .filter(|t| t.mlp_cycles > 0)
+        .map(|t| t.mlp())
+        .collect();
+    if vals.is_empty() {
+        0.0
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+/// Extra front-end activity of `ours` relative to `baseline`, in percent
+/// (the paper's "FLUSH++ fetches 108% more instructions than DCRA").
+pub fn extra_fetch_pct(ours: &SimResult, baseline: &SimResult) -> f64 {
+    // Normalise per committed instruction so runs of different lengths
+    // compare fairly.
+    let ours_rate = ours.total_fetched() as f64 / ours.total_committed().max(1) as f64;
+    let base_rate = baseline.total_fetched() as f64 / baseline.total_committed().max(1) as f64;
+    improvement_pct(ours_rate, base_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_sim::ThreadStats;
+
+    #[test]
+    fn throughput_sums() {
+        assert_eq!(throughput(&[1.0, 2.0, 0.5]), 3.5);
+        assert_eq!(throughput(&[]), 0.0);
+    }
+
+    #[test]
+    fn hmean_penalises_starvation() {
+        let single = [2.0, 2.0];
+        // Balanced halving.
+        let fair = hmean(&[1.0, 1.0], &single);
+        assert!((fair - 0.5).abs() < 1e-12);
+        // Same total IPC, but one thread starved: Hmean collapses.
+        let unfair = hmean(&[2.0, 0.001], &single);
+        assert!(unfair < fair / 10.0, "unfair={unfair} fair={fair}");
+        // Fully starved thread -> 0.
+        assert_eq!(hmean(&[2.0, 0.0], &single), 0.0);
+    }
+
+    #[test]
+    fn weighted_speedup_is_arithmetic_mean() {
+        let ws = weighted_speedup(&[1.0, 1.0], &[2.0, 4.0]);
+        assert!((ws - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_baseline_rejected() {
+        let _ = speedups(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn improvement_pct_signs() {
+        assert!((improvement_pct(1.08, 1.0) - 8.0).abs() < 1e-9);
+        assert!(improvement_pct(0.9, 1.0) < 0.0);
+        assert_eq!(improvement_pct(1.0, 0.0), 0.0);
+    }
+
+    fn result_with(fetched: &[u64], committed: &[u64]) -> SimResult {
+        SimResult {
+            cycles: 1000,
+            policy: "X".into(),
+            threads: fetched
+                .iter()
+                .zip(committed)
+                .map(|(&f, &c)| ThreadStats {
+                    fetched: f,
+                    committed: c,
+                    ..ThreadStats::default()
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn extra_fetch_is_relative_to_useful_work() {
+        let flushy = result_with(&[4000], &[1000]);
+        let lean = result_with(&[2000], &[1000]);
+        let extra = extra_fetch_pct(&flushy, &lean);
+        assert!((extra - 100.0).abs() < 1e-9, "got {extra}");
+    }
+
+    #[test]
+    fn workload_mlp_averages_busy_threads() {
+        let mut r = result_with(&[0, 0], &[1, 1]);
+        r.threads[0].mlp_sum = 40;
+        r.threads[0].mlp_cycles = 10; // MLP 4
+        // Thread 1 never missed: excluded.
+        assert!((workload_mlp(&r) - 4.0).abs() < 1e-12);
+    }
+}

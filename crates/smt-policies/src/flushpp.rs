@@ -1,0 +1,153 @@
+//! FLUSH++ fetch policy (Cazorla et al., ISHPC'03).
+
+use crate::icount::icount_order;
+use smt_isa::ThreadId;
+use smt_sim::policy::{CycleView, MissResponse, Policy};
+
+/// FLUSH++ switches between STALL and FLUSH based on the cache behaviour of
+/// the running threads:
+///
+/// * **low pressure** (few threads with a high L2 miss rate) — STALL is
+///   enough: the stalled thread's resources are not badly needed;
+/// * **high pressure** (several memory-bounded threads) — FLUSH frees the
+///   resources that the other missing threads do need.
+///
+/// The pressure signal is the number of threads whose running L2 miss rate
+/// (L2 misses per load, over a sliding window) exceeds
+/// [`FlushPlusPlus::MEM_THRESHOLD`] — the same "threads with high L2 miss
+/// rate" criterion the paper uses to describe workloads.
+///
+/// # Examples
+///
+/// ```
+/// use smt_policies::FlushPlusPlus;
+/// use smt_sim::policy::Policy;
+///
+/// assert_eq!(FlushPlusPlus::default().name(), "FLUSH++");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlushPlusPlus {
+    /// Last-window snapshot of (loads, l2_misses) per thread.
+    window_base: Vec<(u64, u64)>,
+    /// Miss rate per thread over the last complete window.
+    rates: Vec<f64>,
+    last_window: u64,
+}
+
+impl FlushPlusPlus {
+    /// L2 misses per load above which a thread counts as memory-bounded
+    /// (mirrors Table 3's 1% miss-rate criterion, scaled to per-load).
+    pub const MEM_THRESHOLD: f64 = 0.01;
+    /// Number of memory-bounded threads at which resource pressure is
+    /// considered high and FLUSH is preferred over STALL.
+    pub const PRESSURE_THRESHOLD: usize = 2;
+    /// Re-evaluation period in cycles.
+    pub const WINDOW: u64 = 4096;
+
+    /// Number of threads currently classified as memory-bounded.
+    fn mem_threads(&self) -> usize {
+        self.rates
+            .iter()
+            .filter(|&&r| r > Self::MEM_THRESHOLD)
+            .count()
+    }
+}
+
+impl Policy for FlushPlusPlus {
+    fn name(&self) -> &str {
+        "FLUSH++"
+    }
+
+    fn begin_cycle(&mut self, view: &CycleView) {
+        let n = view.thread_count();
+        if self.window_base.len() != n {
+            self.window_base = vec![(0, 0); n];
+            self.rates = vec![0.0; n];
+        }
+        if view.now >= self.last_window + Self::WINDOW {
+            self.last_window = view.now;
+            for (i, tv) in view.threads.iter().enumerate() {
+                let (loads0, misses0) = self.window_base[i];
+                // saturating: the simulator may reset its statistics
+                // between windows (end of warm-up), which rewinds the
+                // absolute counters.
+                let loads = tv.loads.saturating_sub(loads0);
+                let misses = tv.l2_misses.saturating_sub(misses0);
+                self.rates[i] = if loads == 0 {
+                    0.0
+                } else {
+                    misses as f64 / loads as f64
+                };
+                self.window_base[i] = (tv.loads, tv.l2_misses);
+            }
+        }
+    }
+
+    fn fetch_order(&mut self, view: &CycleView) -> Vec<ThreadId> {
+        icount_order(view)
+    }
+
+    fn fetch_gate(&mut self, t: ThreadId, view: &CycleView) -> bool {
+        view.thread(t).l2_pending == 0
+    }
+
+    fn on_l2_miss_detected(&mut self, _t: ThreadId, _view: &CycleView) -> MissResponse {
+        if self.mem_threads() >= Self::PRESSURE_THRESHOLD {
+            MissResponse::Flush
+        } else {
+            MissResponse::Stall
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::PerResource;
+    use smt_sim::policy::ThreadView;
+
+    fn view_with(loads: &[(u64, u64)], now: u64) -> CycleView {
+        CycleView {
+            now,
+            threads: loads
+                .iter()
+                .map(|&(l, m)| ThreadView {
+                    loads: l,
+                    l2_misses: m,
+                    ..ThreadView::default()
+                })
+                .collect(),
+            totals: PerResource::filled(80),
+        }
+    }
+
+    #[test]
+    fn low_pressure_stalls_high_pressure_flushes() {
+        let mut p = FlushPlusPlus::default();
+        // Window 1: one memory-bounded thread -> STALL.
+        p.begin_cycle(&view_with(&[(0, 0), (0, 0)], 0));
+        p.begin_cycle(&view_with(&[(1000, 100), (1000, 0)], FlushPlusPlus::WINDOW));
+        let v = view_with(&[(1000, 100), (1000, 0)], FlushPlusPlus::WINDOW);
+        assert_eq!(
+            p.on_l2_miss_detected(ThreadId::new(0), &v),
+            MissResponse::Stall
+        );
+        // Window 2: both threads memory-bounded -> FLUSH.
+        p.begin_cycle(&view_with(
+            &[(2000, 300), (2000, 150)],
+            2 * FlushPlusPlus::WINDOW,
+        ));
+        assert_eq!(
+            p.on_l2_miss_detected(ThreadId::new(0), &v),
+            MissResponse::Flush
+        );
+    }
+
+    #[test]
+    fn zero_loads_window_counts_as_ilp() {
+        let mut p = FlushPlusPlus::default();
+        p.begin_cycle(&view_with(&[(0, 0)], 0));
+        p.begin_cycle(&view_with(&[(0, 0)], FlushPlusPlus::WINDOW));
+        assert_eq!(p.mem_threads(), 0);
+    }
+}

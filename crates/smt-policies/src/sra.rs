@@ -1,0 +1,161 @@
+//! Static resource allocation (SRA).
+
+use crate::icount::icount_order;
+use smt_isa::{PerResource, QueueKind, RegClass, ResourceKind, ThreadId};
+use smt_sim::policy::{CycleView, Policy};
+
+/// Static resource allocation: every shared resource is split evenly among
+/// the running threads and a thread may never exceed its `R/T` share
+/// (the Pentium-4-style partitioning the paper compares against in
+/// Section 5.1).
+///
+/// `StaticAllocation` can also enforce *custom* per-resource caps via
+/// [`StaticAllocation::with_caps`], which the Figure-2 experiment uses to
+/// give a single thread a chosen percentage of one resource.
+///
+/// # Examples
+///
+/// ```
+/// use smt_policies::StaticAllocation;
+/// use smt_sim::policy::Policy;
+///
+/// assert_eq!(StaticAllocation::default().name(), "SRA");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StaticAllocation {
+    /// Explicit caps; when `None` for a resource, the even `R/T` split
+    /// applies.
+    caps: PerResource<Option<u32>>,
+}
+
+impl StaticAllocation {
+    /// Even `R/T` partitioning (the paper's SRA).
+    pub fn new() -> Self {
+        StaticAllocation::default()
+    }
+
+    /// Partitioning with explicit per-resource caps (entries a thread may
+    /// occupy). Resources left `None` fall back to the even split.
+    pub fn with_caps(caps: PerResource<Option<u32>>) -> Self {
+        StaticAllocation { caps }
+    }
+
+    /// The cap applied to each thread for `kind` under `view`.
+    pub fn cap(&self, kind: ResourceKind, view: &CycleView) -> u32 {
+        match self.caps[kind] {
+            Some(c) => c,
+            None => (view.totals[kind] / view.thread_count() as u32).max(1),
+        }
+    }
+}
+
+impl Policy for StaticAllocation {
+    fn name(&self) -> &str {
+        "SRA"
+    }
+
+    fn fetch_order(&mut self, view: &CycleView) -> Vec<ThreadId> {
+        icount_order(view)
+    }
+
+    fn may_dispatch(
+        &self,
+        t: ThreadId,
+        queue: QueueKind,
+        dest: Option<RegClass>,
+        view: &CycleView,
+    ) -> bool {
+        let usage = &view.thread(t).usage;
+        let qr = queue.resource();
+        if usage[qr] >= self.cap(qr, view) {
+            return false;
+        }
+        if let Some(d) = dest {
+            let rr = d.resource();
+            if usage[rr] >= self.cap(rr, view) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn fetch_gate(&mut self, t: ThreadId, view: &CycleView) -> bool {
+        // Stop fetching once the thread is already at a partition limit;
+        // dispatch would refuse the instructions anyway, so fetching more
+        // only fills the fetch queue.
+        let usage = &view.thread(t).usage;
+        ResourceKind::ALL
+            .iter()
+            .any(|&r| usage[r] < self.cap(r, view))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_sim::policy::ThreadView;
+
+    fn view(n: usize, totals: u32) -> CycleView {
+        CycleView {
+            now: 0,
+            threads: vec![ThreadView::default(); n],
+            totals: PerResource::filled(totals),
+        }
+    }
+
+    #[test]
+    fn even_split_cap() {
+        let p = StaticAllocation::new();
+        let v = view(4, 80);
+        assert_eq!(p.cap(ResourceKind::IntQueue, &v), 20);
+        let v2 = view(3, 80);
+        assert_eq!(p.cap(ResourceKind::IntQueue, &v2), 26);
+    }
+
+    #[test]
+    fn dispatch_blocked_at_cap() {
+        let p = StaticAllocation::new();
+        let mut v = view(2, 80); // cap 40
+        v.threads[0].usage[ResourceKind::IntQueue] = 40;
+        assert!(!p.may_dispatch(ThreadId::new(0), QueueKind::Int, None, &v));
+        assert!(p.may_dispatch(ThreadId::new(1), QueueKind::Int, None, &v));
+        // A different queue is still allowed.
+        assert!(p.may_dispatch(ThreadId::new(0), QueueKind::Fp, None, &v));
+    }
+
+    #[test]
+    fn register_cap_checked_independently() {
+        let p = StaticAllocation::new();
+        let mut v = view(2, 80);
+        v.threads[0].usage[ResourceKind::IntRegs] = 40;
+        assert!(!p.may_dispatch(
+            ThreadId::new(0),
+            QueueKind::Int,
+            Some(RegClass::Int),
+            &v
+        ));
+        assert!(p.may_dispatch(ThreadId::new(0), QueueKind::Int, None, &v));
+    }
+
+    #[test]
+    fn custom_caps_override_even_split() {
+        let mut caps = PerResource::<Option<u32>>::default();
+        caps[ResourceKind::LsQueue] = Some(10);
+        let p = StaticAllocation::with_caps(caps);
+        let v = view(1, 80);
+        assert_eq!(p.cap(ResourceKind::LsQueue, &v), 10);
+        assert_eq!(p.cap(ResourceKind::IntQueue, &v), 80);
+    }
+
+    #[test]
+    fn fetch_gate_closes_only_when_every_resource_full() {
+        let mut p = StaticAllocation::new();
+        let mut v = view(2, 80);
+        for r in ResourceKind::ALL {
+            v.threads[0].usage[r] = 40;
+        }
+        assert!(!p.fetch_gate(ThreadId::new(0), &v));
+        v.threads[0].usage[ResourceKind::FpQueue] = 0;
+        assert!(p.fetch_gate(ThreadId::new(0), &v));
+    }
+}

@@ -1,0 +1,108 @@
+//! In-flight dynamic instruction state.
+
+use smt_isa::DecodedInst;
+
+/// Pipeline stage of an in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Stage {
+    /// Fetched into the thread's fetch queue; occupies no shared resource.
+    Fetched,
+    /// Renamed/dispatched: occupies a ROB entry, an issue-queue entry and
+    /// (if it writes) a rename register.
+    Dispatched,
+    /// Issued to a functional unit; the issue-queue entry is released at
+    /// issue (Section 3.4: queue counters decrement at issue).
+    Executing,
+    /// Completed; waiting to commit in order. Releases its rename register
+    /// at commit (Section 3.4: register counters decrement at commit).
+    Done,
+}
+
+/// One in-flight instruction.
+#[derive(Debug, Clone)]
+pub(crate) struct DynInst {
+    /// Per-thread dynamic sequence number.
+    pub seq: u64,
+    /// Globally unique incarnation id: a squashed-and-refetched instruction
+    /// reuses its `seq` but gets a fresh `uid`, so stale timing events can
+    /// be recognised and dropped.
+    pub uid: u64,
+    pub decoded: DecodedInst,
+    pub stage: Stage,
+    /// Earliest cycle the instruction may be renamed (front-end depth).
+    pub dispatch_eligible_at: u64,
+    /// Cycle the instruction was dispatched (age for issue arbitration).
+    pub dispatched_at: u64,
+    /// Cycle the result becomes available (valid once Executing).
+    pub ready_at: u64,
+    /// Absolute producer sequence numbers within the same thread.
+    pub deps: [Option<u64>; 2],
+    /// Fetch-time branch misprediction (squash when the branch resolves).
+    pub mispredicted: bool,
+    /// The load missed the L1 data cache.
+    pub l1_miss: bool,
+    /// The load missed the L2.
+    pub l2_miss: bool,
+    /// The L2 miss has been detected (one L2 latency after issue) and is
+    /// counted in the thread's pending-L2 counter.
+    pub l2_detected: bool,
+}
+
+impl DynInst {
+    /// Creates a freshly fetched instruction.
+    pub fn fetched(
+        seq: u64,
+        uid: u64,
+        decoded: DecodedInst,
+        now: u64,
+        frontend_delay: u32,
+    ) -> Self {
+        let deps = decoded.deps().map(|d| {
+            d.and_then(|dist| {
+                let dist = u64::from(dist);
+                (dist <= seq).then(|| seq - dist)
+            })
+        });
+        DynInst {
+            seq,
+            uid,
+            decoded,
+            stage: Stage::Fetched,
+            dispatch_eligible_at: now + u64::from(frontend_delay),
+            dispatched_at: 0,
+            ready_at: 0,
+            deps,
+            mispredicted: false,
+            l1_miss: false,
+            l2_miss: false,
+            l2_detected: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::{InstClass, RegClass};
+
+    #[test]
+    fn deps_resolve_to_absolute_seqs() {
+        let d = DecodedInst::builder(InstClass::IntAlu, 0)
+            .dest(RegClass::Int)
+            .dep(3)
+            .dep(10)
+            .build();
+        let i = DynInst::fetched(20, 1, d, 5, 4);
+        assert_eq!(i.deps, [Some(17), Some(10)]);
+        assert_eq!(i.dispatch_eligible_at, 9);
+    }
+
+    #[test]
+    fn deps_before_stream_start_are_dropped() {
+        let d = DecodedInst::builder(InstClass::IntAlu, 0)
+            .dep(5)
+            .build();
+        let i = DynInst::fetched(3, 1, d, 0, 0);
+        assert_eq!(i.deps, [None, None], "distance beyond seq 0 has no producer");
+    }
+}

@@ -1,0 +1,156 @@
+//! Per-hardware-thread simulator state.
+
+use crate::inst::DynInst;
+use smt_isa::DecodedInst;
+use smt_workloads::TraceGenerator;
+use std::collections::VecDeque;
+
+/// State of one hardware context: its trace generator with a replay buffer
+/// (squashed instructions are re-fetched, and must decode identically), the
+/// in-flight instruction window and the thread's blocking conditions.
+#[derive(Debug)]
+pub(crate) struct ThreadState {
+    gen: TraceGenerator,
+    /// Decoded instructions for sequence numbers `buffer_base ..`.
+    buffer: VecDeque<DecodedInst>,
+    buffer_base: u64,
+    /// Next sequence number to fetch (rewinds on squash).
+    pub next_fetch: u64,
+    /// Next sequence number to dispatch, always ≥ the window base.
+    pub next_dispatch: u64,
+    /// In-flight instructions, contiguous by `seq`.
+    pub window: VecDeque<DynInst>,
+    /// I-cache miss or fetch-redirect bubble: no fetch until this cycle.
+    pub icache_stall_until: u64,
+    /// Line address of an in-flight instruction-cache fill. When the stall
+    /// expires, the arriving line is consumed directly by the fetch unit —
+    /// without this, a line conflict-evicted during the stall would force
+    /// a re-miss, and three threads sharing a 2-way I-cache set could
+    /// livelock evicting each other's fills forever.
+    pub pending_inst_fill: Option<u64>,
+    /// Fetch stalled until this load commits its miss (STALL/FLUSH action).
+    pub stall_on_load: Option<u64>,
+    /// Incrementally maintained per-thread counters.
+    pub pre_issue: u32,
+    pub l1d_pending: u32,
+    pub l2_pending: u32,
+}
+
+impl ThreadState {
+    pub fn new(gen: TraceGenerator) -> Self {
+        ThreadState {
+            gen,
+            buffer: VecDeque::new(),
+            buffer_base: 0,
+            next_fetch: 0,
+            next_dispatch: 0,
+            window: VecDeque::new(),
+            icache_stall_until: 0,
+            pending_inst_fill: None,
+            stall_on_load: None,
+            pre_issue: 0,
+            l1d_pending: 0,
+            l2_pending: 0,
+        }
+    }
+
+    /// The decoded instruction at `seq`, generating forward as needed.
+    /// Re-fetching a squashed sequence number returns the identical record.
+    pub fn inst_at(&mut self, seq: u64) -> DecodedInst {
+        debug_assert!(seq >= self.buffer_base, "instruction already retired");
+        while self.buffer_base + self.buffer.len() as u64 <= seq {
+            let inst = self.gen.next_inst();
+            self.buffer.push_back(inst);
+        }
+        self.buffer[(seq - self.buffer_base) as usize]
+    }
+
+    /// Drops replay entries up to and including `seq` (called at commit).
+    pub fn retire_buffer(&mut self, seq: u64) {
+        while self.buffer_base <= seq && !self.buffer.is_empty() {
+            self.buffer.pop_front();
+            self.buffer_base += 1;
+        }
+    }
+
+    /// Sequence number of the oldest in-flight instruction.
+    pub fn window_base(&self) -> Option<u64> {
+        self.window.front().map(|i| i.seq)
+    }
+
+    /// Looks up an in-flight instruction by sequence number.
+    pub fn get(&self, seq: u64) -> Option<&DynInst> {
+        let base = self.window_base()?;
+        if seq < base {
+            return None;
+        }
+        self.window.get((seq - base) as usize)
+    }
+
+    /// Mutable lookup by sequence number.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut DynInst> {
+        let base = self.window_base()?;
+        if seq < base {
+            return None;
+        }
+        self.window.get_mut((seq - base) as usize)
+    }
+
+    /// Number of instructions currently in the fetch queue (stage Fetched).
+    pub fn fetch_queue_len(&self) -> usize {
+        // Fetched instructions are always the window's tail.
+        (self.next_fetch - self.next_dispatch) as usize
+    }
+
+    /// The generator, for phase/profile queries.
+    pub fn generator(&self) -> &TraceGenerator {
+        &self.gen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_workloads::{spec, TraceGenerator};
+
+    fn thread() -> ThreadState {
+        let p = spec::profile("gzip").unwrap();
+        ThreadState::new(TraceGenerator::new(p, 1, 0))
+    }
+
+    #[test]
+    fn replay_is_identical() {
+        let mut t = thread();
+        let a: Vec<_> = (0..50).map(|s| t.inst_at(s)).collect();
+        let b: Vec<_> = (0..50).map(|s| t.inst_at(s)).collect();
+        assert_eq!(a, b, "replayed instructions must be bit-identical");
+    }
+
+    #[test]
+    fn retire_frees_buffer() {
+        let mut t = thread();
+        let _ = t.inst_at(99);
+        assert_eq!(t.buffer.len(), 100);
+        t.retire_buffer(49);
+        assert_eq!(t.buffer_base, 50);
+        assert_eq!(t.buffer.len(), 50);
+        // Still replayable beyond the retired point.
+        let _ = t.inst_at(75);
+    }
+
+    #[test]
+    fn window_lookup_by_seq() {
+        let mut t = thread();
+        for s in 10..15u64 {
+            let d = t.inst_at(s);
+            t.window
+                .push_back(crate::inst::DynInst::fetched(s, s, d, 0, 0));
+        }
+        assert_eq!(t.window_base(), Some(10));
+        assert_eq!(t.get(12).unwrap().seq, 12);
+        assert!(t.get(9).is_none());
+        assert!(t.get(15).is_none());
+        t.get_mut(14).unwrap().mispredicted = true;
+        assert!(t.get(14).unwrap().mispredicted);
+    }
+}

@@ -1,0 +1,556 @@
+//! Deterministic statistical trace generation.
+
+use crate::profile::BenchmarkProfile;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use smt_isa::{BranchKind, DecodedInst, InstClass, RegClass};
+
+/// Execution phase of the generated program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Compute,
+    Memory,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BranchSite {
+    pc: u64,
+    target: u64,
+    taken_prob: f64,
+    /// Biased sites are learnable by gshare; data-dependent sites are not.
+    biased: bool,
+}
+
+/// A deterministic, infinite instruction stream expanded from a
+/// [`BenchmarkProfile`].
+///
+/// The generator is the repo's substitute for the paper's Alpha/SPEC2000
+/// traces (see `DESIGN.md`). Two generators constructed with the same
+/// profile, seed and data base produce identical streams, which the
+/// simulator relies on for reproducibility.
+///
+/// # Examples
+///
+/// ```
+/// use smt_workloads::{spec, TraceGenerator};
+///
+/// let p = spec::profile("gzip").unwrap();
+/// let mut a = TraceGenerator::new(p, 7, 0);
+/// let mut b = TraceGenerator::new(p, 7, 0);
+/// for _ in 0..100 {
+///     assert_eq!(a.next_inst(), b.next_inst());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: BenchmarkProfile,
+    seed: u64,
+    thread_slot: u64,
+    rng: SmallRng,
+    seq: u64,
+    pc: u64,
+    code_base: u64,
+    data_base: u64,
+    phase: Phase,
+    phase_left: u64,
+    warm_cursor: u64,
+    cold_cursor: u64,
+    last_cold_load_seq: Option<u64>,
+    call_depth: u32,
+    sites: Vec<BranchSite>,
+    /// Cumulative mix thresholds for sampling instruction classes.
+    mix_cdf: [(f64, InstClass); 8],
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `profile`, seeded with `seed`. `thread_slot`
+    /// offsets the data/code address space so concurrent threads have
+    /// disjoint footprints (they still share cache *capacity*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`BenchmarkProfile::validate`].
+    pub fn new(profile: &BenchmarkProfile, seed: u64, thread_slot: u64) -> Self {
+        profile
+            .validate()
+            .expect("trace generator requires a valid profile");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        // Per-thread address spaces are disjoint (bit 36+) and *staggered*
+        // by an odd line count so that different threads' regions map to
+        // different cache sets — without the stagger every thread's code
+        // would land in the same I-cache sets (all bases share their low
+        // bits) and three or more threads would conflict-evict each other's
+        // fetch blocks forever.
+        let stagger = thread_slot * 0x1_1040;
+        let code_base = 0x0040_0000 + (thread_slot << 36) + stagger;
+        let data_base = 0x1000_0000 + (thread_slot << 36) + 3 * stagger;
+
+        let n_sites = profile.branches.sites;
+        let biased_sites = ((n_sites as f64) * profile.branches.biased_frac).round() as usize;
+        let code_bytes = profile.branches.code_bytes.max(256);
+        // Programs spend most of their time in a small hot loop nest; only
+        // occasional excursions touch the full code footprint. Biased
+        // (loop) branches live in and target the hot region; the
+        // data-dependent branches are spread across the footprint. Without
+        // this locality the active instruction footprint of a multithreaded
+        // workload would overflow the shared I-cache and fetch would be
+        // I-cache-stalled most of the time — which real SPEC codes are not.
+        let hot_code = code_bytes.min(8 * 1024);
+        let sites = (0..n_sites)
+            .map(|i| {
+                if i < biased_sites {
+                    // Loop back edge: the site jumps a short distance
+                    // backwards, so the fetch stream cycles tightly over a
+                    // small body whose I-cache lines are re-touched every
+                    // iteration — like a real inner loop, and unlike a
+                    // uniform-random jump, whose reuse distance would grow
+                    // as the thread slows and make code residency bistable
+                    // under multiprogrammed cache pressure.
+                    let pc = code_base + (i as u64 * 97 % (hot_code / 4)) * 4;
+                    let body = rng.gen_range(16..256) * 4;
+                    let target = pc.saturating_sub(body).max(code_base);
+                    BranchSite {
+                        pc,
+                        target,
+                        taken_prob: 0.985,
+                        biased: true,
+                    }
+                } else {
+                    let pc = code_base + (i as u64 * 193 % (code_bytes / 4)) * 4;
+                    // Cold excursion half the time, back to the hot nest
+                    // otherwise.
+                    let target = if rng.gen_bool(0.5) {
+                        code_base + rng.gen_range(0..code_bytes / 4) * 4
+                    } else {
+                        code_base + rng.gen_range(0..hot_code / 4) * 4
+                    };
+                    BranchSite {
+                        pc,
+                        target,
+                        taken_prob: profile.branches.random_taken_rate,
+                        biased: false,
+                    }
+                }
+            })
+            .collect();
+
+        let m = profile.mix;
+        let entries = [
+            (m.load, InstClass::Load),
+            (m.store, InstClass::Store),
+            (m.branch, InstClass::Branch),
+            (m.int_alu, InstClass::IntAlu),
+            (m.int_mul, InstClass::IntMul),
+            (m.fp_alu, InstClass::FpAlu),
+            (m.fp_mul, InstClass::FpMul),
+            (m.fp_div, InstClass::FpDiv),
+        ];
+        let cold_cursor_start =
+            rng.gen_range(0..(profile.mem.cold_bytes / 64).max(1)) * 64;
+        let total = m.total();
+        let mut acc = 0.0;
+        let mix_cdf = entries.map(|(w, c)| {
+            acc += w / total;
+            (acc, c)
+        });
+
+        let mut this = TraceGenerator {
+            profile: profile.clone(),
+            seed,
+            thread_slot,
+            rng,
+            seq: 0,
+            pc: code_base,
+            code_base,
+            data_base,
+            phase: Phase::Compute,
+            phase_left: 1,
+            warm_cursor: 0,
+            // Random start so two generators over the same region (e.g.
+            // the decorrelated warm-up twin) do not walk the same
+            // sequential path through the cold region.
+            cold_cursor: cold_cursor_start,
+            last_cold_load_seq: None,
+            call_depth: 0,
+            sites,
+            mix_cdf,
+        };
+        this.advance_phase();
+        this
+    }
+
+    /// Number of instructions generated so far.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// `true` while the generator is in a memory phase (used by tests and
+    /// the Table-5 experiment for ground truth).
+    pub fn in_memory_phase(&self) -> bool {
+        self.phase == Phase::Memory
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// A *decorrelated* twin of this generator: same profile and thread
+    /// slot (same regions, same statistics) but a different random stream.
+    /// Used for functional cache warm-up — the twin touches the same hot,
+    /// warm and code regions (which is what warming needs) without leaking
+    /// the exact future cold-region lines into the caches, which would
+    /// erase the measured run's compulsory misses.
+    pub fn decorrelated(&self, salt: u64) -> TraceGenerator {
+        TraceGenerator::new(
+            &self.profile,
+            self.seed ^ salt.wrapping_mul(0x5052_4557_4d5f),
+            self.thread_slot,
+        )
+    }
+
+    fn advance_phase(&mut self) {
+        let (next, mean) = match self.phase {
+            Phase::Compute => (Phase::Memory, self.profile.phases.mem_len),
+            Phase::Memory => (Phase::Compute, self.profile.phases.compute_len),
+        };
+        self.phase = next;
+        self.phase_left = sample_geometric(&mut self.rng, mean).max(1);
+    }
+
+    fn sample_class(&mut self) -> InstClass {
+        let u: f64 = self.rng.gen();
+        for (threshold, class) in self.mix_cdf {
+            if u <= threshold {
+                return class;
+            }
+        }
+        InstClass::IntAlu
+    }
+
+    fn dep_distance(&mut self) -> u32 {
+        sample_geometric(&mut self.rng, self.profile.dep_mean).clamp(1, 512) as u32
+    }
+
+    /// Samples a data address from the nested-working-set model. Returns
+    /// `(address, is_cold)`.
+    fn sample_address(&mut self) -> (u64, bool) {
+        let mem = self.profile.mem;
+        let boost = match self.phase {
+            Phase::Memory => self.profile.phases.mem_boost,
+            Phase::Compute => self.profile.phases.compute_damp,
+        };
+        let warm = (mem.warm_frac * boost).min(0.9);
+        let cold = (mem.cold_frac * boost).min(0.9 - warm.min(0.89));
+        let u: f64 = self.rng.gen();
+        if u < cold {
+            let off = self.cold_offset(mem.cold_bytes);
+            (self.data_base + 0x4000_0000 + off, true)
+        } else if u < cold + warm {
+            // The warm region is a *conflict set*: `warm_bytes` worth of
+            // lines arranged as 4 tags per L1 set. A 2-way L1 can hold at
+            // most half of each set's tags, so every warm access misses
+            // the L1 by construction, while the full region stays
+            // L2-resident with a short reuse distance (one pass over the
+            // region). This gives the profile's `warm_frac` an exact
+            // L1-miss/L2-hit contribution — the basis of the Table-3
+            // calibration — and keeps the region L2-resident even when a
+            // co-running thread streams misses through the L2.
+            const TAGS: u64 = 4;
+            const L1_SETS: u64 = 512;
+            let lines = (mem.warm_bytes / 64).max(TAGS);
+            let sets = (lines / TAGS).max(1);
+            // Half the touches advance a cyclic sweep; the other half
+            // revisit a random earlier position. The mixture gives the
+            // region a *spread* of reuse distances, so L2 pressure from
+            // co-running threads evicts warm lines gradually instead of
+            // ageing the whole region past the LRU cliff at once — the
+            // cliff made co-run performance bistable.
+            let j = if self.rng.gen_bool(0.5) {
+                self.warm_cursor = self.warm_cursor.wrapping_add(1);
+                self.warm_cursor
+            } else {
+                self.warm_cursor
+                    .wrapping_sub(self.rng.gen_range(1..lines.max(2)))
+            };
+            let tag = j % TAGS;
+            let set = (j / TAGS) % sets;
+            let line_off = set + L1_SETS * tag;
+            (self.data_base + 0x0100_0000 + line_off * 64, false)
+        } else {
+            let off = self.rng.gen_range(0..mem.hot_bytes / 8) * 8;
+            (self.data_base + off, false)
+        }
+    }
+
+    /// Cold-region offsets always touch a fresh cache line (the region is
+    /// far larger than the L2): streaming profiles advance sequentially,
+    /// irregular profiles jump randomly. Either way the access is an L2
+    /// miss; `streaming` only shapes the address pattern.
+    fn cold_offset(&mut self, region_bytes: u64) -> u64 {
+        if self.rng.gen_bool(self.profile.mem.streaming) {
+            self.cold_cursor = (self.cold_cursor + 64) % region_bytes;
+            self.cold_cursor
+        } else {
+            let lines = (region_bytes / 64).max(1);
+            self.rng.gen_range(0..lines) * 64
+        }
+    }
+
+    /// Generates the next dynamic instruction of the stream.
+    pub fn next_inst(&mut self) -> DecodedInst {
+        let class = self.sample_class();
+        let pc = self.pc;
+        self.pc = self.code_base
+            + ((self.pc - self.code_base + 4) % self.profile.branches.code_bytes.max(256));
+
+        let inst = match class {
+            InstClass::Load => self.gen_load(pc),
+            InstClass::Store => self.gen_store(pc),
+            InstClass::Branch => self.gen_branch(pc),
+            c => self.gen_alu(pc, c),
+        };
+
+        self.seq += 1;
+        self.phase_left -= 1;
+        if self.phase_left == 0 {
+            self.advance_phase();
+        }
+        inst
+    }
+
+    fn gen_load(&mut self, pc: u64) -> DecodedInst {
+        let (addr, is_cold) = self.sample_address();
+        let dest = if self.profile.fp_load_frac > 0.0
+            && self.rng.gen_bool(self.profile.fp_load_frac)
+        {
+            RegClass::Fp
+        } else {
+            RegClass::Int
+        };
+        let mut b = DecodedInst::builder(InstClass::Load, pc)
+            .dest(dest)
+            .mem(addr, 8);
+        if is_cold {
+            // Pointer chasing: the address of this cold load depends on the
+            // data of the previous cold load, serialising the misses.
+            if let Some(prev) = self.last_cold_load_seq {
+                if self.rng.gen_bool(self.profile.mem.pointer_chase) {
+                    let dist = (self.seq - prev).clamp(1, 512) as u32;
+                    b = b.dep(dist);
+                }
+            }
+            self.last_cold_load_seq = Some(self.seq);
+        } else {
+            let d = self.dep_distance();
+            b = b.dep(d);
+        }
+        b.build()
+    }
+
+    fn gen_store(&mut self, pc: u64) -> DecodedInst {
+        let (addr, _) = self.sample_address();
+        let d1 = self.dep_distance();
+        let d2 = self.dep_distance();
+        DecodedInst::builder(InstClass::Store, pc)
+            .mem(addr, 8)
+            .dep(d1)
+            .dep(d2)
+            .build()
+    }
+
+    fn gen_branch(&mut self, pc: u64) -> DecodedInst {
+        // Returns match outstanding calls; calls occur with call_frac.
+        if self.call_depth > 0 && self.rng.gen_bool(0.5) {
+            self.call_depth -= 1;
+            let target = self.code_base + self.rng.gen_range(0..64) * 4;
+            return DecodedInst::builder(InstClass::Branch, pc)
+                .branch(BranchKind::Return, true, target)
+                .build();
+        }
+        if self.rng.gen_bool(self.profile.branches.call_frac) {
+            self.call_depth = (self.call_depth + 1).min(64);
+            let site = self.pick_site();
+            return DecodedInst::builder(InstClass::Branch, site.pc)
+                .branch(BranchKind::Call, true, site.target)
+                .build();
+        }
+        let site = self.pick_site();
+        let taken = self.rng.gen_bool(site.taken_prob);
+        let d = self.dep_distance();
+        let inst = DecodedInst::builder(InstClass::Branch, site.pc)
+            .branch(BranchKind::Conditional, taken, site.target)
+            .dep(d)
+            .build();
+        if taken {
+            self.pc = site.target;
+        }
+        inst
+    }
+
+    fn pick_site(&mut self) -> BranchSite {
+        // Biased sites are hot (loop branches execute often): weight them
+        // by the profile's biased fraction of *dynamic* branches.
+        let biased: Vec<usize> = (0..self.sites.len())
+            .filter(|&i| self.sites[i].biased)
+            .collect();
+        let random: Vec<usize> = (0..self.sites.len())
+            .filter(|&i| !self.sites[i].biased)
+            .collect();
+        let use_biased = !biased.is_empty()
+            && (random.is_empty() || self.rng.gen_bool(self.profile.branches.biased_frac));
+        let pool = if use_biased { &biased } else { &random };
+        let idx = pool[self.rng.gen_range(0..pool.len())];
+        self.sites[idx]
+    }
+
+    fn gen_alu(&mut self, pc: u64, class: InstClass) -> DecodedInst {
+        let dest = if class.is_fp() {
+            RegClass::Fp
+        } else {
+            RegClass::Int
+        };
+        let d1 = self.dep_distance();
+        let mut b = DecodedInst::builder(class, pc).dest(dest).dep(d1);
+        if self.rng.gen_bool(0.25) {
+            let d2 = self.dep_distance();
+            b = b.dep(d2);
+        }
+        b.build()
+    }
+}
+
+/// Samples a geometric-like positive integer with the given mean.
+fn sample_geometric(rng: &mut SmallRng, mean: f64) -> u64 {
+    if mean <= 1.0 {
+        return 1;
+    }
+    let p = 1.0 / mean;
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = spec::profile("gcc").unwrap();
+        let mut a = TraceGenerator::new(p, 123, 1);
+        let mut b = TraceGenerator::new(p, 123, 1);
+        for _ in 0..5_000 {
+            assert_eq!(a.next_inst(), b.next_inst());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let p = spec::profile("gcc").unwrap();
+        let mut a = TraceGenerator::new(p, 1, 0);
+        let mut b = TraceGenerator::new(p, 2, 0);
+        let differs = (0..1000).any(|_| a.next_inst() != b.next_inst());
+        assert!(differs);
+    }
+
+    #[test]
+    fn mix_roughly_matches_profile() {
+        let p = spec::profile("gzip").unwrap();
+        let mut g = TraceGenerator::new(p, 42, 0);
+        let mut counts: HashMap<InstClass, u64> = HashMap::new();
+        let n = 200_000;
+        for _ in 0..n {
+            *counts.entry(g.next_inst().class).or_default() += 1;
+        }
+        let total = p.mix.total();
+        let load_frac = *counts.get(&InstClass::Load).unwrap_or(&0) as f64 / n as f64;
+        assert!(
+            (load_frac - p.mix.load / total).abs() < 0.02,
+            "load fraction {load_frac} vs profile {}",
+            p.mix.load / total
+        );
+        let br_frac = *counts.get(&InstClass::Branch).unwrap_or(&0) as f64 / n as f64;
+        assert!((br_frac - p.mix.branch / total).abs() < 0.02);
+    }
+
+    #[test]
+    fn integer_profile_emits_no_fp() {
+        let p = spec::profile("mcf").unwrap();
+        let mut g = TraceGenerator::new(p, 9, 0);
+        for _ in 0..50_000 {
+            let i = g.next_inst();
+            assert!(!i.class.is_fp(), "integer benchmark emitted {}", i.class);
+            if let Some(dest) = i.dest {
+                assert_ne!(dest, RegClass::Fp);
+            }
+        }
+    }
+
+    #[test]
+    fn fp_profile_emits_fp_work() {
+        let p = spec::profile("swim").unwrap();
+        let mut g = TraceGenerator::new(p, 9, 0);
+        let fp = (0..50_000).filter(|_| g.next_inst().class.is_fp()).count();
+        assert!(fp > 5_000, "FP benchmark generated only {fp} FP ops");
+    }
+
+    #[test]
+    fn phases_alternate() {
+        let p = spec::profile("mcf").unwrap();
+        let mut g = TraceGenerator::new(p, 3, 0);
+        let mut mem_insts = 0u64;
+        let n = 100_000;
+        for _ in 0..n {
+            g.next_inst();
+            if g.in_memory_phase() {
+                mem_insts += 1;
+            }
+        }
+        assert!(mem_insts > 0, "never entered a memory phase");
+        assert!(mem_insts < n, "never left the memory phase");
+    }
+
+    #[test]
+    fn memory_instructions_carry_addresses() {
+        let p = spec::profile("art").unwrap();
+        let mut g = TraceGenerator::new(p, 5, 2);
+        for _ in 0..20_000 {
+            let i = g.next_inst();
+            if i.class.is_mem() {
+                let m = i.mem.expect("memory inst without address");
+                assert!(m.addr >= 0x1000_0000, "address below data base");
+            }
+            if i.class == InstClass::Branch {
+                assert!(i.branch.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn thread_slots_do_not_overlap() {
+        let p = spec::profile("art").unwrap();
+        let mut a = TraceGenerator::new(p, 5, 0);
+        let mut b = TraceGenerator::new(p, 5, 1);
+        let addr_of = |g: &mut TraceGenerator| loop {
+            let i = g.next_inst();
+            if let Some(m) = i.mem {
+                return m.addr;
+            }
+        };
+        for _ in 0..100 {
+            let (x, y) = (addr_of(&mut a), addr_of(&mut b));
+            assert_ne!(x >> 36, y >> 36, "thread footprints must be disjoint");
+        }
+    }
+
+    #[test]
+    fn geometric_mean_is_close() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| sample_geometric(&mut rng, 8.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 8.0).abs() < 0.5, "geometric mean off: {mean}");
+    }
+}

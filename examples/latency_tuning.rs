@@ -1,0 +1,60 @@
+//! Memory-latency tuning: a miniature of the paper's Section 5.3. Shows
+//! why DCRA's sharing factor `C` must shrink as memory latency grows —
+//! slow threads hold borrowed resources for longer, so lending must be
+//! more conservative.
+//!
+//! Run with: `cargo run --release --example latency_tuning`
+
+use dcra_smt::dcra::{DcraConfig, SharingConfig, SharingFactor};
+use dcra_smt::experiments::{PolicyKind, RunSpec, Runner};
+use dcra_smt::metrics::hmean;
+use dcra_smt::sim::SimConfig;
+
+fn main() {
+    let benches = ["swim", "mcf"];
+    let runner = Runner::new();
+
+    println!("workload: {} — Hmean under DCRA with different sharing factors", benches.join("+"));
+    println!(
+        "{:>8}  {:>10}  {:>12}  {:>8}  {:>10}",
+        "latency", "C = 1/A", "C = 1/(A+4)", "C = 0", "paper's C"
+    );
+
+    for (mem_lat, l2_lat) in [(100u32, 10u32), (300, 20), (500, 25)] {
+        let mut config = SimConfig::baseline(2);
+        config.mem.memory_latency = mem_lat;
+        config.mem.l2.latency = l2_lat;
+
+        let lengths = RunSpec::new(&benches, PolicyKind::Icount).with_config(config.clone());
+        let singles: Vec<f64> = benches
+            .iter()
+            .map(|b| runner.single_ipc(b, &config, &lengths))
+            .collect();
+
+        let run_with = |sharing: SharingConfig| {
+            let spec = RunSpec::new(
+                &benches,
+                PolicyKind::Dcra(DcraConfig {
+                    sharing,
+                    ..DcraConfig::default()
+                }),
+            )
+            .with_config(config.clone());
+            let out = runner.run(&spec);
+            hmean(&out.ipcs(), &singles)
+        };
+
+        let uniform = |f: SharingFactor| SharingConfig {
+            queue_factor: f,
+            reg_factor: f,
+        };
+        let generous = run_with(uniform(SharingFactor::Inverse));
+        let moderate = run_with(uniform(SharingFactor::InversePlus4));
+        let none = run_with(uniform(SharingFactor::Zero));
+        let papers = run_with(SharingConfig::for_memory_latency(mem_lat));
+        println!(
+            "{mem_lat:>8}  {generous:>10.3}  {moderate:>12.3}  {none:>8.3}  {papers:>10.3}"
+        );
+    }
+    println!("\n(paper's choice per Section 5.3: 100cy -> 1/A; 300cy -> 1/(A+4); 500cy -> queues 0, registers 1/(A+4))");
+}

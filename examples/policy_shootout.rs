@@ -1,0 +1,64 @@
+//! Policy shoot-out: run one workload under every policy the paper
+//! evaluates and compare throughput and fairness — a miniature of the
+//! paper's Figure 5 on a single workload.
+//!
+//! Run with: `cargo run --release --example policy_shootout [bench bench ...]`
+
+use dcra_smt::experiments::{PolicyKind, RunSpec, Runner};
+use dcra_smt::metrics::hmean;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benches: Vec<&str> = if args.is_empty() {
+        vec!["gzip", "mcf"]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    let runner = Runner::new();
+    let lengths = RunSpec::new(&benches, PolicyKind::Icount);
+
+    // Single-thread baselines for the fairness metric.
+    let singles: Vec<f64> = benches
+        .iter()
+        .map(|b| runner.single_ipc(b, &lengths.config, &lengths))
+        .collect();
+    println!("workload: {}", benches.join("+"));
+    println!(
+        "single-thread IPCs: {}",
+        singles
+            .iter()
+            .map(|s| format!("{s:.2}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!();
+    println!("{:<8} {:>6} {:>6}  per-thread IPC", "policy", "tput", "hmean");
+
+    let policies = [
+        PolicyKind::RoundRobin,
+        PolicyKind::Icount,
+        PolicyKind::Stall,
+        PolicyKind::Flush,
+        PolicyKind::FlushPlusPlus,
+        PolicyKind::DataGating,
+        PolicyKind::PredictiveDataGating,
+        PolicyKind::Sra,
+        PolicyKind::dcra_for_latency(300),
+    ];
+    for policy in policies {
+        let spec = RunSpec::new(&benches, policy.clone());
+        let out = runner.run(&spec);
+        let ipcs = out.ipcs();
+        println!(
+            "{:<8} {:>6.3} {:>6.3}  {}",
+            policy.name(),
+            out.throughput(),
+            hmean(&ipcs, &singles),
+            ipcs.iter()
+                .map(|i| format!("{i:.2}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+}
