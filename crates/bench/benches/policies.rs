@@ -10,7 +10,9 @@ use smt_policies::by_name;
 fn bench_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator_cycles");
     g.throughput(Throughput::Elements(2_000));
-    for name in ["RR", "ICOUNT", "STALL", "FLUSH", "FLUSH++", "DG", "PDG", "SRA", "DCRA"] {
+    for name in [
+        "RR", "ICOUNT", "STALL", "FLUSH", "FLUSH++", "DG", "PDG", "SRA", "DCRA",
+    ] {
         g.bench_function(format!("mix2/{name}"), |b| {
             b.iter_batched(
                 || {

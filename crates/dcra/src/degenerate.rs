@@ -276,7 +276,10 @@ mod tests {
         let mut v = view(w + 2, &[(1, 0), (0, 0)]);
         v.threads[0].usage = PerResource::filled(17);
         p.begin_cycle(&v);
-        assert!(!p.fetch_gate(ThreadId::new(0), &v), "degenerate thread gated at even share");
+        assert!(
+            !p.fetch_gate(ThreadId::new(0), &v),
+            "degenerate thread gated at even share"
+        );
 
         let mut fresh = DcraDc::default();
         fresh.begin_cycle(&v);

@@ -182,8 +182,10 @@ mod tests {
     use super::*;
     use smt_sim::policy::ThreadView;
 
-    fn view(specs: &[(u32, u32, &[(ResourceKind, u32)])]) -> CycleView {
-        // (icount, l1d_pending, usage overrides)
+    /// One thread's test fixture: (icount, l1d_pending, usage overrides).
+    type ThreadSpec<'a> = (u32, u32, &'a [(ResourceKind, u32)]);
+
+    fn view(specs: &[ThreadSpec]) -> CycleView {
         CycleView {
             now: 0,
             threads: specs
@@ -219,10 +221,7 @@ mod tests {
         let mut d = inverse_dcra();
         // 2 threads: T0 slow holding 24 LSQ entries, T1 fast.
         // E_slow = 32/2 * (1 + 1/2) = 24 -> usage 24 >= 24: gated.
-        let v = view(&[
-            (10, 1, &[(ResourceKind::LsQueue, 24)]),
-            (10, 0, &[]),
-        ]);
+        let v = view(&[(10, 1, &[(ResourceKind::LsQueue, 24)]), (10, 0, &[])]);
         d.begin_cycle(&v);
         assert_eq!(d.current_limits()[ResourceKind::LsQueue], Some(24));
         assert!(d.is_gated(ThreadId::new(0)));
@@ -234,10 +233,7 @@ mod tests {
     #[test]
     fn slow_thread_below_share_is_not_gated() {
         let mut d = inverse_dcra();
-        let v = view(&[
-            (10, 1, &[(ResourceKind::LsQueue, 23)]),
-            (10, 0, &[]),
-        ]);
+        let v = view(&[(10, 1, &[(ResourceKind::LsQueue, 23)]), (10, 0, &[])]);
         d.begin_cycle(&v);
         assert!(!d.is_gated(ThreadId::new(0)));
     }
@@ -246,10 +242,7 @@ mod tests {
     fn fast_threads_are_never_gated() {
         let mut d = inverse_dcra();
         // T0 fast but hogging the queue: DCRA leaves fast threads alone.
-        let v = view(&[
-            (10, 0, &[(ResourceKind::IntQueue, 32)]),
-            (10, 1, &[]),
-        ]);
+        let v = view(&[(10, 0, &[(ResourceKind::IntQueue, 32)]), (10, 1, &[])]);
         d.begin_cycle(&v);
         assert!(!d.is_gated(ThreadId::new(0)));
     }

@@ -55,13 +55,13 @@ fn zero_sharing_keeps_average_usage_near_even_split() {
     let mut lsq_sum = [0u64; 2];
     for _ in 0..cycles {
         sim.step();
-        for t in 0..2 {
-            lsq_sum[t] += u64::from(sim.thread_usage(ThreadId::new(t))[ResourceKind::LsQueue]);
+        for (t, sum) in lsq_sum.iter_mut().enumerate() {
+            *sum += u64::from(sim.thread_usage(ThreadId::new(t))[ResourceKind::LsQueue]);
         }
     }
     let r = sim.result();
-    for t in 0..2 {
-        let avg = lsq_sum[t] as f64 / cycles as f64;
+    for (t, sum) in lsq_sum.iter().enumerate() {
+        let avg = *sum as f64 / cycles as f64;
         assert!(
             avg <= 44.0,
             "thread {t} average LSQ occupancy {avg:.1} far above the even split (40)"
@@ -83,7 +83,10 @@ fn dcra_preserves_throughput_on_pure_ilp() {
     dcra_sim.run_cycles(60_000);
     let dcra = dcra_sim.result().throughput();
 
-    let profiles = [spec::profile("gzip").unwrap(), spec::profile("bzip2").unwrap()];
+    let profiles = [
+        spec::profile("gzip").unwrap(),
+        spec::profile("bzip2").unwrap(),
+    ];
     let mut base = Simulator::new(
         SimConfig::baseline(2),
         &profiles,
@@ -107,7 +110,10 @@ fn activity_donation_helps_fp_slow_threads() {
     // An FP memory-bound thread paired with an integer thread: the integer
     // thread is inactive for FP resources, so the FP thread's entitlement
     // for the FP queue must reach the full queue.
-    let profiles = [spec::profile("swim").unwrap(), spec::profile("gzip").unwrap()];
+    let profiles = [
+        spec::profile("swim").unwrap(),
+        spec::profile("gzip").unwrap(),
+    ];
     let mut policy = Dcra::default();
     let mut sim = Simulator::new(
         SimConfig::baseline(2),
@@ -152,16 +158,22 @@ fn table_driven_implementation_matches_combinational_end_to_end() {
     // The paper offers two implementations of the sharing model (§3.4): a
     // combinational circuit and a read-only table. On identical runs they
     // must produce cycle-identical machines.
-    let profiles = [spec::profile("art").unwrap(), spec::profile("gzip").unwrap()];
+    let profiles = [
+        spec::profile("art").unwrap(),
+        spec::profile("gzip").unwrap(),
+    ];
     let run = |policy: Box<dyn smt_sim::policy::Policy>| {
         let mut sim = Simulator::new(SimConfig::baseline(2), &profiles, policy, 42);
         sim.prewarm(100_000);
         sim.run_cycles(60_000);
         sim.result()
     };
-    let comb = run(Box::new(Dcra::default()));
-    let table = run(Box::new(dcra::TableDcra::default()));
-    assert_eq!(comb, table, "ROM-based DCRA diverged from the combinational one");
+    let comb = run(Box::<Dcra>::default());
+    let table = run(Box::<dcra::TableDcra>::default());
+    assert_eq!(
+        comb, table,
+        "ROM-based DCRA diverged from the combinational one"
+    );
 }
 
 #[test]
@@ -169,7 +181,10 @@ fn degenerate_detection_reclaims_resources_from_mcf() {
     // DCRA-DC (the paper's future work): when mcf is detected as
     // degenerate, the co-running fast thread should do at least as well as
     // under plain DCRA.
-    let profiles = [spec::profile("mcf").unwrap(), spec::profile("gzip").unwrap()];
+    let profiles = [
+        spec::profile("mcf").unwrap(),
+        spec::profile("gzip").unwrap(),
+    ];
     let run = |policy: Box<dyn smt_sim::policy::Policy>| {
         let mut sim = Simulator::new(SimConfig::baseline(2), &profiles, policy, 11);
         sim.prewarm(200_000);
@@ -178,8 +193,8 @@ fn degenerate_detection_reclaims_resources_from_mcf() {
         sim.run_cycles(120_000);
         sim.result()
     };
-    let plain = run(Box::new(Dcra::default()));
-    let dc = run(Box::new(dcra::DcraDc::default()));
+    let plain = run(Box::<Dcra>::default());
+    let dc = run(Box::<dcra::DcraDc>::default());
     let gzip_plain = plain.threads[1].ipc(plain.cycles);
     let gzip_dc = dc.threads[1].ipc(dc.cycles);
     assert!(

@@ -41,9 +41,15 @@ impl BranchTargetBuffer {
     /// the resulting set count is not a power of two.
     pub fn new(entries: usize, ways: usize) -> Self {
         assert!(ways > 0, "BTB needs at least one way");
-        assert!(entries.is_multiple_of(ways), "entries must be a multiple of ways");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries must be a multiple of ways"
+        );
         let sets = entries / ways;
-        assert!(sets.is_power_of_two(), "BTB set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "BTB set count must be a power of two"
+        );
         BranchTargetBuffer {
             entries: vec![None; entries],
             lru: vec![0; entries],
@@ -137,8 +143,9 @@ mod tests {
 
     #[test]
     fn lru_eviction_on_conflict() {
-        let mut btb = BranchTargetBuffer::new(8, 2); // 4 sets, 2 ways
-        // Three branches mapping to the same set (stride = 4 sets * 4 bytes).
+        // 8 entries, 2 ways -> 4 sets; three branches map to the same
+        // set (stride = 4 sets * 4 bytes).
+        let mut btb = BranchTargetBuffer::new(8, 2);
         let stride = 4 * 4;
         btb.insert(0x100, 1);
         btb.insert(0x100 + stride, 2);

@@ -45,7 +45,10 @@ impl Gshare {
     ///
     /// Panics if `entries` is zero or not a power of two.
     pub fn with_history(entries: usize, threads: usize, history_bits: u32) -> Self {
-        assert!(entries.is_power_of_two(), "gshare entries must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "gshare entries must be a power of two"
+        );
         let history_bits = history_bits.min(entries.trailing_zeros());
         Gshare {
             counters: vec![1; entries],

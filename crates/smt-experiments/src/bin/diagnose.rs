@@ -10,20 +10,8 @@ use smt_experiments::{PolicyKind, RunSpec, Runner};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (policy, benches): (PolicyKind, Vec<&str>) = if args.len() >= 2 {
-        let p = match args[0].as_str() {
-            "DCRA" => PolicyKind::dcra_for_latency(300),
-            other => match other {
-                "RR" => PolicyKind::RoundRobin,
-                "ICOUNT" => PolicyKind::Icount,
-                "STALL" => PolicyKind::Stall,
-                "FLUSH" => PolicyKind::Flush,
-                "FLUSH++" => PolicyKind::FlushPlusPlus,
-                "DG" => PolicyKind::DataGating,
-                "PDG" => PolicyKind::PredictiveDataGating,
-                "SRA" => PolicyKind::Sra,
-                _ => panic!("unknown policy {other}"),
-            },
-        };
+        let p =
+            PolicyKind::from_name(&args[0]).unwrap_or_else(|| panic!("unknown policy {}", args[0]));
         (p, args[1..].iter().map(|s| s.as_str()).collect())
     } else {
         (PolicyKind::dcra_for_latency(300), vec!["gzip", "mcf"])

@@ -55,7 +55,12 @@ pub fn run(runner: &Runner) -> ExtraResult {
     let lengths = sweep_lengths();
     ExtraResult {
         flushpp: sweep_policy(runner, &PolicyKind::FlushPlusPlus, &config, &lengths),
-        dcra: sweep_policy(runner, &PolicyKind::dcra_for_latency(300), &config, &lengths),
+        dcra: sweep_policy(
+            runner,
+            &PolicyKind::dcra_for_latency(300),
+            &config,
+            &lengths,
+        ),
     }
 }
 

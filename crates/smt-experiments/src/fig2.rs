@@ -46,7 +46,9 @@ fn benches_for(resource: ResourceKind) -> Vec<&'static str> {
             .filter(|n| spec::profile(n).map(|p| p.mix.uses_fp()).unwrap_or(false))
             .collect()
     } else {
-        vec!["mcf", "art", "twolf", "equake", "gzip", "gcc", "gap", "crafty"]
+        vec![
+            "mcf", "art", "twolf", "equake", "gzip", "gcc", "gap", "crafty",
+        ]
     }
 }
 
@@ -65,8 +67,8 @@ pub fn run(runner: &Runner, measure_cycles: u64) -> Vec<Fig2Result> {
                 let cap = ((f64::from(total) * frac).round() as u32).max(1);
                 let mut caps = PerResource::<Option<u32>>::default();
                 caps[resource] = Some(cap);
-                let mut s = RunSpec::new(&[b], PolicyKind::SraCapped(caps))
-                    .with_config(config.clone());
+                let mut s =
+                    RunSpec::new(&[b], PolicyKind::SraCapped(caps)).with_config(config.clone());
                 s.measure_cycles = measure_cycles;
                 s.prewarm_insts = 150_000;
                 s.warmup_cycles = 10_000;
@@ -86,7 +88,13 @@ pub fn run(runner: &Runner, measure_cycles: u64) -> Vec<Fig2Result> {
                 let rel: f64 = outs[fi * per_frac..(fi + 1) * per_frac]
                     .iter()
                     .zip(&full_speed)
-                    .map(|(o, &full)| if full > 0.0 { o.throughput() / full } else { 0.0 })
+                    .map(|(o, &full)| {
+                        if full > 0.0 {
+                            o.throughput() / full
+                        } else {
+                            0.0
+                        }
+                    })
                     .sum::<f64>()
                     / per_frac as f64;
                 (frac, rel)
@@ -144,8 +152,8 @@ mod tests {
         let make = |cap: Option<u32>| {
             let mut caps = PerResource::<Option<u32>>::default();
             caps[ResourceKind::LsQueue] = cap.map(|c| c.max(1));
-            let mut s = RunSpec::new(&["gzip"], PolicyKind::SraCapped(caps))
-                .with_config(config.clone());
+            let mut s =
+                RunSpec::new(&["gzip"], PolicyKind::SraCapped(caps)).with_config(config.clone());
             s.prewarm_insts = 50_000;
             s.warmup_cycles = 5_000;
             s.measure_cycles = 40_000;

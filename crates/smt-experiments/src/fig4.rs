@@ -50,7 +50,12 @@ impl Fig4Result {
 pub fn run(runner: &Runner) -> Fig4Result {
     let config = SimConfig::baseline(2);
     let lengths = sweep_lengths();
-    let dcra = sweep_policy(runner, &PolicyKind::dcra_for_latency(300), &config, &lengths);
+    let dcra = sweep_policy(
+        runner,
+        &PolicyKind::dcra_for_latency(300),
+        &config,
+        &lengths,
+    );
     let sra = sweep_policy(runner, &PolicyKind::Sra, &config, &lengths);
     Fig4Result { dcra, sra }
 }

@@ -36,7 +36,10 @@ impl Fig5Result {
     /// Average throughput improvement of DCRA over `baseline`
     /// (paper: ICOUNT +24%, DG +30%, FLUSH++ +1%).
     pub fn avg_throughput_improvement(&self, baseline: &PolicySweep) -> f64 {
-        improvement_pct(self.dcra.average().throughput, baseline.average().throughput)
+        improvement_pct(
+            self.dcra.average().throughput,
+            baseline.average().throughput,
+        )
     }
 }
 
@@ -48,7 +51,12 @@ pub fn run(runner: &Runner) -> Fig5Result {
         icount: sweep_policy(runner, &PolicyKind::Icount, &config, &lengths),
         dg: sweep_policy(runner, &PolicyKind::DataGating, &config, &lengths),
         flushpp: sweep_policy(runner, &PolicyKind::FlushPlusPlus, &config, &lengths),
-        dcra: sweep_policy(runner, &PolicyKind::dcra_for_latency(300), &config, &lengths),
+        dcra: sweep_policy(
+            runner,
+            &PolicyKind::dcra_for_latency(300),
+            &config,
+            &lengths,
+        ),
     }
 }
 

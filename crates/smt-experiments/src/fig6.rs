@@ -34,7 +34,13 @@ pub fn run(runner: &Runner) -> Fig6Result {
     for regs in REGISTER_SIZES {
         let mut config = SimConfig::baseline(2);
         config.phys_regs = regs;
-        let dcra = sweep_policy_threads(runner, &PolicyKind::dcra_for_latency(300), &config, &lengths, &[2]);
+        let dcra = sweep_policy_threads(
+            runner,
+            &PolicyKind::dcra_for_latency(300),
+            &config,
+            &lengths,
+            &[2],
+        );
         let mut imps = [0.0f64; 4];
         for (i, base) in BASELINES.iter().enumerate() {
             let sweep = sweep_policy_threads(runner, base, &config, &lengths, &[2]);

@@ -66,10 +66,9 @@ impl Partition {
                 ResourceKind::FpQueue,
                 ResourceKind::LsQueue,
             ])),
-            Partition::RegistersOnly => PolicyKind::SraCapped(caps_for(&[
-                ResourceKind::IntRegs,
-                ResourceKind::FpRegs,
-            ])),
+            Partition::RegistersOnly => {
+                PolicyKind::SraCapped(caps_for(&[ResourceKind::IntRegs, ResourceKind::FpRegs]))
+            }
             Partition::All => PolicyKind::Sra,
             Partition::Dynamic => PolicyKind::dcra_for_latency(300),
         }

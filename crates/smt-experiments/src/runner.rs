@@ -53,6 +53,25 @@ impl PolicyKind {
         }
     }
 
+    /// The inverse of [`PolicyKind::name`] for the nine canonical
+    /// policies (case-insensitive). `DCRA` maps to the default
+    /// configuration; the capped-SRA and tuned-DCRA variants have no
+    /// name of their own.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "RR" => PolicyKind::RoundRobin,
+            "ICOUNT" => PolicyKind::Icount,
+            "STALL" => PolicyKind::Stall,
+            "FLUSH" => PolicyKind::Flush,
+            "FLUSH++" => PolicyKind::FlushPlusPlus,
+            "DG" => PolicyKind::DataGating,
+            "PDG" => PolicyKind::PredictiveDataGating,
+            "SRA" => PolicyKind::Sra,
+            "DCRA" => PolicyKind::Dcra(DcraConfig::default()),
+            _ => return None,
+        })
+    }
+
     /// DCRA with the sharing factors tuned for `latency` (Section 5.3).
     pub fn dcra_for_latency(latency: u32) -> Self {
         PolicyKind::Dcra(DcraConfig {
@@ -255,7 +274,12 @@ impl Runner {
     }
 
     /// Single-thread baselines for every benchmark of a workload.
-    pub fn single_ipcs(&self, workload: &Workload, config: &SimConfig, lengths: &RunSpec) -> Vec<f64> {
+    pub fn single_ipcs(
+        &self,
+        workload: &Workload,
+        config: &SimConfig,
+        lengths: &RunSpec,
+    ) -> Vec<f64> {
         workload
             .benchmarks
             .iter()
@@ -311,7 +335,10 @@ mod tests {
         let batch = r.run_all(&specs);
         let solo0 = r.run(&specs[0]);
         let solo1 = r.run(&specs[1]);
-        assert_eq!(batch[0].result, solo0.result, "parallel run must be deterministic");
+        assert_eq!(
+            batch[0].result, solo0.result,
+            "parallel run must be deterministic"
+        );
         assert_eq!(batch[1].result, solo1.result);
     }
 

@@ -43,7 +43,12 @@ impl PolicySweep {
     pub fn average(&self) -> ClassMetrics {
         let n = self.classes.len() as f64;
         ClassMetrics {
-            throughput: self.classes.iter().map(|(_, _, m)| m.throughput).sum::<f64>() / n,
+            throughput: self
+                .classes
+                .iter()
+                .map(|(_, _, m)| m.throughput)
+                .sum::<f64>()
+                / n,
             hmean: self.classes.iter().map(|(_, _, m)| m.hmean).sum::<f64>() / n,
             fetch_per_commit: self
                 .classes
@@ -111,8 +116,8 @@ pub fn sweep_policy_threads(
                 let singles = runner.single_ipcs(w, config, lengths);
                 tput += out.throughput();
                 hm += hmean(&out.ipcs(), &singles);
-                fpc += out.result.total_fetched() as f64
-                    / out.result.total_committed().max(1) as f64;
+                fpc +=
+                    out.result.total_fetched() as f64 / out.result.total_committed().max(1) as f64;
                 mlp += smt_metrics::workload_mlp(&out.result);
             }
             classes.push((

@@ -61,7 +61,13 @@ pub fn run(runner: &Runner) -> Vec<BenchCalibration> {
 /// Formats the calibration as paper-vs-measured.
 pub fn report(rows: &[BenchCalibration]) -> TextTable {
     let mut t = TextTable::new(&[
-        "bench", "type", "IPC", "L1 miss%", "L2 miss% (ours)", "L2 miss% (paper)", "class ok",
+        "bench",
+        "type",
+        "IPC",
+        "L1 miss%",
+        "L2 miss% (ours)",
+        "L2 miss% (paper)",
+        "class ok",
     ]);
     for r in rows {
         t.row_owned(vec![
@@ -71,7 +77,12 @@ pub fn report(rows: &[BenchCalibration]) -> TextTable {
             format!("{:.1}", r.l1_rate * 100.0),
             format!("{:.1}", r.l2_rate * 100.0),
             format!("{:.1}", r.paper_l2_pct),
-            if r.paper_mem == r.measured_mem { "yes" } else { "NO" }.to_string(),
+            if r.paper_mem == r.measured_mem {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     t

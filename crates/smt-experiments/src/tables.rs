@@ -39,7 +39,8 @@ impl TextTable {
             self.header.len(),
             "row width must match header"
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row of already-owned cells.

@@ -284,10 +284,7 @@ mod tests {
 
     #[test]
     fn queue_resources_are_flagged() {
-        let queues: Vec<_> = ResourceKind::ALL
-            .iter()
-            .filter(|r| r.is_queue())
-            .collect();
+        let queues: Vec<_> = ResourceKind::ALL.iter().filter(|r| r.is_queue()).collect();
         assert_eq!(queues.len(), 3);
         assert!(!ResourceKind::IntRegs.is_queue());
         assert!(!ResourceKind::FpRegs.is_queue());

@@ -210,7 +210,13 @@ impl MemoryHierarchy {
     ///
     /// Misses to a line already being filled coalesce with the outstanding
     /// miss and pay the remaining latency only.
-    pub fn access_data(&mut self, t: ThreadId, addr: u64, is_write: bool, now: u64) -> AccessOutcome {
+    pub fn access_data(
+        &mut self,
+        t: ThreadId,
+        addr: u64,
+        is_write: bool,
+        now: u64,
+    ) -> AccessOutcome {
         let st = &mut self.stats[t.index()];
         st.accesses += 1;
 
@@ -255,7 +261,10 @@ impl MemoryHierarchy {
         st.l1_misses += 1;
         st.l2_accesses += 1;
         let (level, fill_latency) = if self.l2.access(addr, is_write) {
-            (HitLevel::L2, self.config.dl1.latency + self.config.l2.latency)
+            (
+                HitLevel::L2,
+                self.config.dl1.latency + self.config.l2.latency,
+            )
         } else {
             st.l2_misses += 1;
             #[cfg(feature = "trace-l2")]
@@ -287,7 +296,10 @@ impl MemoryHierarchy {
             };
         }
         let (level, latency) = if self.l2.access(pc, false) {
-            (HitLevel::L2, self.config.il1.latency + self.config.l2.latency)
+            (
+                HitLevel::L2,
+                self.config.il1.latency + self.config.l2.latency,
+            )
         } else {
             (
                 HitLevel::Memory,

@@ -62,7 +62,10 @@ pub fn speedups(multi_ipcs: &[f64], single_ipcs: &[f64]) -> Vec<f64> {
 pub fn hmean(multi_ipcs: &[f64], single_ipcs: &[f64]) -> f64 {
     let sp = speedups(multi_ipcs, single_ipcs);
     let n = sp.len() as f64;
-    let denom: f64 = sp.iter().map(|&s| if s > 0.0 { 1.0 / s } else { f64::INFINITY }).sum();
+    let denom: f64 = sp
+        .iter()
+        .map(|&s| if s > 0.0 { 1.0 / s } else { f64::INFINITY })
+        .sum();
     if denom.is_infinite() {
         0.0
     } else {
@@ -182,8 +185,8 @@ mod tests {
     fn workload_mlp_averages_busy_threads() {
         let mut r = result_with(&[0, 0], &[1, 1]);
         r.threads[0].mlp_sum = 40;
-        r.threads[0].mlp_cycles = 10; // MLP 4
-        // Thread 1 never missed: excluded.
+        // Thread 0 has MLP 4; thread 1 never missed, so it is excluded.
+        r.threads[0].mlp_cycles = 10;
         assert!((workload_mlp(&r) - 4.0).abs() < 1e-12);
     }
 }

@@ -46,8 +46,10 @@ mod tests {
     #[test]
     fn gates_on_any_pending_l1_miss() {
         let mut p = DataGating;
-        let mut a = ThreadView::default();
-        a.l1d_pending = 2;
+        let a = ThreadView {
+            l1d_pending: 2,
+            ..ThreadView::default()
+        };
         let v = CycleView {
             now: 0,
             threads: vec![a, ThreadView::default()],

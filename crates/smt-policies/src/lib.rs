@@ -72,7 +72,9 @@ mod tests {
 
     #[test]
     fn by_name_builds_each_policy() {
-        for n in ["RR", "ICOUNT", "STALL", "FLUSH", "FLUSH++", "DG", "PDG", "SRA"] {
+        for n in [
+            "RR", "ICOUNT", "STALL", "FLUSH", "FLUSH++", "DG", "PDG", "SRA",
+        ] {
             let p = by_name(n).unwrap_or_else(|| panic!("missing {n}"));
             assert_eq!(p.name(), n);
         }

@@ -128,12 +128,7 @@ mod tests {
         let p = StaticAllocation::new();
         let mut v = view(2, 80);
         v.threads[0].usage[ResourceKind::IntRegs] = 40;
-        assert!(!p.may_dispatch(
-            ThreadId::new(0),
-            QueueKind::Int,
-            Some(RegClass::Int),
-            &v
-        ));
+        assert!(!p.may_dispatch(ThreadId::new(0), QueueKind::Int, Some(RegClass::Int), &v));
         assert!(p.may_dispatch(ThreadId::new(0), QueueKind::Int, None, &v));
     }
 

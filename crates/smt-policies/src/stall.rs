@@ -54,8 +54,10 @@ mod tests {
     #[test]
     fn gates_thread_with_pending_l2_miss() {
         let mut p = Stall;
-        let mut tv = ThreadView::default();
-        tv.l2_pending = 1;
+        let tv = ThreadView {
+            l2_pending: 1,
+            ..ThreadView::default()
+        };
         let v = CycleView {
             now: 0,
             threads: vec![tv, ThreadView::default()],

@@ -57,7 +57,10 @@ fn dg_gates_harder_than_stall() {
 #[test]
 fn sra_limits_thread_resource_usage() {
     use smt_isa::{ResourceKind, ThreadId};
-    let profiles = [spec::profile("art").unwrap(), spec::profile("swim").unwrap()];
+    let profiles = [
+        spec::profile("art").unwrap(),
+        spec::profile("swim").unwrap(),
+    ];
     let mut sim = Simulator::new(
         SimConfig::baseline(2),
         &profiles,

@@ -146,7 +146,13 @@ impl Simulator {
     }
 
     /// Raw cache statistics `(il1, dl1, l2)` of the hierarchy.
-    pub fn cache_stats_helper(&self) -> (smt_mem::CacheStats, smt_mem::CacheStats, smt_mem::CacheStats) {
+    pub fn cache_stats_helper(
+        &self,
+    ) -> (
+        smt_mem::CacheStats,
+        smt_mem::CacheStats,
+        smt_mem::CacheStats,
+    ) {
         self.mem.cache_stats()
     }
 
@@ -748,7 +754,8 @@ impl Simulator {
             ) {
                 squashed_ras_activity = true;
             }
-            self.policy.on_squash_inst(ThreadId::new(tid), &inst.decoded);
+            self.policy
+                .on_squash_inst(ThreadId::new(tid), &inst.decoded);
             self.stats[tid].squashed += 1;
         }
         let th = &mut self.threads[tid];
@@ -897,7 +904,11 @@ mod tests {
         // gzip reaches ~2.3 IPC in full steady state (after the warm
         // working set's first sweep); this shorter run must at least show
         // healthy sustained progress.
-        assert!(r.total_committed() > 30_000, "IPC too low: {}", r.throughput());
+        assert!(
+            r.total_committed() > 30_000,
+            "IPC too low: {}",
+            r.throughput()
+        );
         assert!(r.throughput() <= 8.0, "cannot exceed machine width");
     }
 
@@ -908,10 +919,7 @@ mod tests {
         let mut slow = sim(&["mcf"], Box::new(RoundRobin::default()));
         slow.run_cycles(150_000);
         let (f, s) = (fast.result().throughput(), slow.result().throughput());
-        assert!(
-            f > 1.5 * s,
-            "gzip ({f:.2}) should far outrun mcf ({s:.2})"
-        );
+        assert!(f > 1.5 * s, "gzip ({f:.2}) should far outrun mcf ({s:.2})");
     }
 
     #[test]

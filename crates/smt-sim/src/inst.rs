@@ -99,10 +99,12 @@ mod tests {
 
     #[test]
     fn deps_before_stream_start_are_dropped() {
-        let d = DecodedInst::builder(InstClass::IntAlu, 0)
-            .dep(5)
-            .build();
+        let d = DecodedInst::builder(InstClass::IntAlu, 0).dep(5).build();
         let i = DynInst::fetched(3, 1, d, 0, 0);
-        assert_eq!(i.deps, [None, None], "distance beyond seq 0 has no producer");
+        assert_eq!(
+            i.deps,
+            [None, None],
+            "distance beyond seq 0 has no producer"
+        );
     }
 }

@@ -145,8 +145,7 @@ impl TraceGenerator {
             (m.fp_mul, InstClass::FpMul),
             (m.fp_div, InstClass::FpDiv),
         ];
-        let cold_cursor_start =
-            rng.gen_range(0..(profile.mem.cold_bytes / 64).max(1)) * 64;
+        let cold_cursor_start = rng.gen_range(0..(profile.mem.cold_bytes / 64).max(1)) * 64;
         let total = m.total();
         let mut acc = 0.0;
         let mix_cdf = entries.map(|(w, c)| {
@@ -321,13 +320,12 @@ impl TraceGenerator {
 
     fn gen_load(&mut self, pc: u64) -> DecodedInst {
         let (addr, is_cold) = self.sample_address();
-        let dest = if self.profile.fp_load_frac > 0.0
-            && self.rng.gen_bool(self.profile.fp_load_frac)
-        {
-            RegClass::Fp
-        } else {
-            RegClass::Int
-        };
+        let dest =
+            if self.profile.fp_load_frac > 0.0 && self.rng.gen_bool(self.profile.fp_load_frac) {
+                RegClass::Fp
+            } else {
+                RegClass::Int
+            };
         let mut b = DecodedInst::builder(InstClass::Load, pc)
             .dest(dest)
             .mem(addr, 8);

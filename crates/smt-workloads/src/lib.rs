@@ -53,7 +53,7 @@ mod workload;
 
 pub use generator::TraceGenerator;
 pub use profile::{
-    BenchmarkProfile, BenchmarkProfileBuilder, BranchBehavior, InstMix, MemBehavior,
-    PhaseBehavior, ProfileError, Suite,
+    BenchmarkProfile, BenchmarkProfileBuilder, BranchBehavior, InstMix, MemBehavior, PhaseBehavior,
+    ProfileError, Suite,
 };
 pub use workload::{table4_workloads, workloads_of, Workload, WorkloadType};

@@ -285,9 +285,7 @@ impl BenchmarkProfile {
             return Err(ProfileError("instruction mix has zero total weight".into()));
         }
         if self.mem.warm_frac + self.mem.cold_frac > 1.0 {
-            return Err(ProfileError(
-                "warm_frac + cold_frac exceeds 1".into(),
-            ));
+            return Err(ProfileError("warm_frac + cold_frac exceeds 1".into()));
         }
         if self.dep_mean < 1.0 {
             return Err(ProfileError(format!(
@@ -299,7 +297,9 @@ impl BenchmarkProfile {
             return Err(ProfileError("need at least one branch site".into()));
         }
         if self.mem.hot_bytes < 64 || self.mem.warm_bytes < 64 || self.mem.cold_bytes < 64 {
-            return Err(ProfileError("memory regions must hold at least a line".into()));
+            return Err(ProfileError(
+                "memory regions must hold at least a line".into(),
+            ));
         }
         Ok(())
     }
@@ -396,7 +396,9 @@ mod tests {
 
     #[test]
     fn builder_produces_valid_defaults() {
-        let p = BenchmarkProfile::builder("test", Suite::Int).build().unwrap();
+        let p = BenchmarkProfile::builder("test", Suite::Int)
+            .build()
+            .unwrap();
         assert_eq!(p.name, "test");
         assert!(!p.mix.uses_fp());
         p.validate().unwrap();
@@ -411,11 +413,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_fractions() {
-        let mut p = BenchmarkProfile::builder("bad", Suite::Int).build().unwrap();
+        let mut p = BenchmarkProfile::builder("bad", Suite::Int)
+            .build()
+            .unwrap();
         p.mem.cold_frac = 1.5;
         assert!(p.validate().is_err());
 
-        let mut p2 = BenchmarkProfile::builder("bad2", Suite::Int).build().unwrap();
+        let mut p2 = BenchmarkProfile::builder("bad2", Suite::Int)
+            .build()
+            .unwrap();
         p2.mem.warm_frac = 0.8;
         p2.mem.cold_frac = 0.5;
         assert!(p2.validate().is_err());
@@ -423,11 +429,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_degenerate_shapes() {
-        let mut p = BenchmarkProfile::builder("bad", Suite::Int).build().unwrap();
+        let mut p = BenchmarkProfile::builder("bad", Suite::Int)
+            .build()
+            .unwrap();
         p.dep_mean = 0.0;
         assert!(p.validate().is_err());
 
-        let mut p2 = BenchmarkProfile::builder("bad", Suite::Int).build().unwrap();
+        let mut p2 = BenchmarkProfile::builder("bad", Suite::Int)
+            .build()
+            .unwrap();
         p2.branches.sites = 0;
         assert!(p2.validate().is_err());
     }

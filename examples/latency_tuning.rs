@@ -14,7 +14,10 @@ fn main() {
     let benches = ["swim", "mcf"];
     let runner = Runner::new();
 
-    println!("workload: {} — Hmean under DCRA with different sharing factors", benches.join("+"));
+    println!(
+        "workload: {} — Hmean under DCRA with different sharing factors",
+        benches.join("+")
+    );
     println!(
         "{:>8}  {:>10}  {:>12}  {:>8}  {:>10}",
         "latency", "C = 1/A", "C = 1/(A+4)", "C = 0", "paper's C"
@@ -52,9 +55,7 @@ fn main() {
         let moderate = run_with(uniform(SharingFactor::InversePlus4));
         let none = run_with(uniform(SharingFactor::Zero));
         let papers = run_with(SharingConfig::for_memory_latency(mem_lat));
-        println!(
-            "{mem_lat:>8}  {generous:>10.3}  {moderate:>12.3}  {none:>8.3}  {papers:>10.3}"
-        );
+        println!("{mem_lat:>8}  {generous:>10.3}  {moderate:>12.3}  {none:>8.3}  {papers:>10.3}");
     }
     println!("\n(paper's choice per Section 5.3: 100cy -> 1/A; 300cy -> 1/(A+4); 500cy -> queues 0, registers 1/(A+4))");
 }

@@ -47,7 +47,10 @@ fn measure(policy: Box<dyn Policy>, label: &str) {
 fn main() {
     println!("art (memory-bound) + gzip (high ILP) on the baseline machine\n");
     measure(Box::new(Icount), "ICOUNT — no direct resource control");
-    measure(Box::new(Dcra::default()), "DCRA — usage-capped slow threads");
+    measure(
+        Box::new(Dcra::default()),
+        "DCRA — usage-capped slow threads",
+    );
     println!("\nUnder ICOUNT the missing thread piles entries up in the shared");
     println!("queues; DCRA bounds it to its computed entitlement and returns the");
     println!("slack to the fast thread.");

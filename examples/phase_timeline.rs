@@ -28,8 +28,14 @@ fn main() {
     sim.run_cycles(20_000);
     sim.reset_stats();
 
-    println!("workload: {}   (S = slow phase: pending L1 data miss)", benches.join("+"));
-    println!("{:>8}  {:>10}  {:>10}  {:>12}", "cycle", "swim", "gzip", "throughput");
+    println!(
+        "workload: {}   (S = slow phase: pending L1 data miss)",
+        benches.join("+")
+    );
+    println!(
+        "{:>8}  {:>10}  {:>10}  {:>12}",
+        "cycle", "swim", "gzip", "throughput"
+    );
     let interval = 5_000u64;
     let mut committed_before = 0u64;
     for step in 1..=20u64 {
@@ -37,9 +43,9 @@ fn main() {
         let mut slow = [0u64; 2];
         for _ in 0..interval {
             sim.step();
-            for t in 0..2 {
+            for (t, s) in slow.iter_mut().enumerate() {
                 if sim.thread_l1d_pending(ThreadId::new(t)) > 0 {
-                    slow[t] += 1;
+                    *s += 1;
                 }
             }
         }

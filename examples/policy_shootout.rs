@@ -33,7 +33,10 @@ fn main() {
             .join(" ")
     );
     println!();
-    println!("{:<8} {:>6} {:>6}  per-thread IPC", "policy", "tput", "hmean");
+    println!(
+        "{:<8} {:>6} {:>6}  per-thread IPC",
+        "policy", "tput", "hmean"
+    );
 
     let policies = [
         PolicyKind::RoundRobin,

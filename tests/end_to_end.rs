@@ -4,7 +4,7 @@
 
 use dcra_smt::dcra::{Dcra, DcraConfig};
 use dcra_smt::experiments::{PolicyKind, RunSpec, Runner};
-use dcra_smt::isa::ThreadId;
+use dcra_smt::isa::{PerResource, ThreadId};
 use dcra_smt::metrics::hmean;
 use dcra_smt::sim::{SimConfig, Simulator};
 use dcra_smt::workloads::{spec, table4_workloads};
@@ -15,6 +15,39 @@ fn short(benches: &[&str], policy: PolicyKind) -> RunSpec {
     s.warmup_cycles = 10_000;
     s.measure_cycles = 60_000;
     s
+}
+
+#[test]
+fn every_policy_kind_builds_and_commits_in_10k_cycles() {
+    // Smoke test over the *entire* PolicyKind surface — including the
+    // capped-SRA and latency-tuned DCRA variants the longer tests skip:
+    // each must build, survive 10k cycles on a 2-thread mix, and commit.
+    let kinds = [
+        PolicyKind::RoundRobin,
+        PolicyKind::Icount,
+        PolicyKind::Stall,
+        PolicyKind::Flush,
+        PolicyKind::FlushPlusPlus,
+        PolicyKind::DataGating,
+        PolicyKind::PredictiveDataGating,
+        PolicyKind::Sra,
+        PolicyKind::SraCapped(PerResource::filled(Some(20))),
+        PolicyKind::Dcra(DcraConfig::default()),
+        PolicyKind::dcra_for_latency(500),
+    ];
+    let profiles = [
+        spec::profile("gzip").unwrap(),
+        spec::profile("art").unwrap(),
+    ];
+    for kind in kinds {
+        let mut sim = Simulator::new(SimConfig::baseline(2), &profiles, kind.build(), 7);
+        sim.run_cycles(10_000);
+        assert!(
+            sim.result().total_committed() > 0,
+            "{} committed nothing in 10k cycles",
+            kind.name()
+        );
+    }
 }
 
 #[test]
@@ -85,7 +118,10 @@ fn seeds_change_results() {
 #[test]
 fn throughput_never_exceeds_machine_width() {
     let runner = Runner::new();
-    for wl in [vec!["gzip", "bzip2"], vec!["eon", "crafty", "gzip", "bzip2"]] {
+    for wl in [
+        vec!["gzip", "bzip2"],
+        vec!["eon", "crafty", "gzip", "bzip2"],
+    ] {
         let benches: Vec<&str> = wl.to_vec();
         let out = runner.run(&short(&benches, PolicyKind::Icount));
         assert!(out.throughput() <= 8.0, "IPC above commit width");
@@ -154,7 +190,10 @@ fn dcra_beats_static_allocation_on_a_mem_workload() {
 fn slow_thread_classification_reaches_the_policy() {
     // A pointer-chasing thread must show pending L1 misses (the DCRA slow
     // signal) a substantial fraction of the time.
-    let profiles = [spec::profile("mcf").unwrap(), spec::profile("gzip").unwrap()];
+    let profiles = [
+        spec::profile("mcf").unwrap(),
+        spec::profile("gzip").unwrap(),
+    ];
     let mut sim = Simulator::new(
         SimConfig::baseline(2),
         &profiles,

@@ -124,7 +124,10 @@ fn mispredicted_branches_do_not_block_fetch() {
     s.prewarm(150_000);
     s.run_cycles(60_000);
     let r = s.result();
-    assert!(r.threads[0].mispredicts > 10, "mcf must mispredict sometimes");
+    assert!(
+        r.threads[0].mispredicts > 10,
+        "mcf must mispredict sometimes"
+    );
     assert!(
         r.threads[0].squashed > 0,
         "squash-at-resolve must discard the continued-fetch stream"

@@ -1,0 +1,163 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   supporting both `name in strategy` and `name: Type` parameters;
+//! * [`strategy::Strategy`] with `prop_map`, plus strategies for integer
+//!   and float ranges, tuples, [`strategy::Just`], and `prop_oneof!`;
+//! * [`arbitrary::any`] for `bool`, the primitive integers, and
+//!   `Option<T>`;
+//! * [`collection::vec`] with fixed or ranged lengths;
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`.
+//!
+//! Failing cases are **not shrunk** — the failure message reports the case
+//! number and the seed is deterministic (derived from the test name), so
+//! failures reproduce exactly on re-run.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports for property tests, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// (Real proptest rejects and redraws; here the case simply passes, which
+/// is equivalent for uniform input spaces.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Defines property tests. Each case draws fresh inputs from the given
+/// strategies; the body runs once per case and may bail out early through
+/// the `prop_assert*` macros.
+#[macro_export]
+macro_rules! proptest {
+    // Entry: optional config header.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    let outcome: ::core::result::Result<(), ::std::string::String> = (|| {
+                        $crate::proptest!(@bind rng $($params)*);
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}: {}",
+                            stringify!($name), case + 1, config.cases, msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    // Parameter binders: `name in strategy` and `name: Type`, in any order.
+    (@bind $rng:ident) => {};
+    (@bind $rng:ident $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng $($rest)*);
+    };
+    (@bind $rng:ident $name:ident : $ty:ty) => {
+        let $name = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(), &mut $rng);
+    };
+    (@bind $rng:ident $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $crate::proptest!(@bind $rng $($rest)*);
+    };
+    // No config header: delegate with the default.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(format!(
+                "{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err(format!(
+                "{}\n  both: {:?}", format!($($fmt)+), l));
+        }
+    }};
+}
+
+/// Picks uniformly among the listed strategies (all must share one value
+/// type). Weighted arms are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this crate supplies
+//! just enough of serde's face for the workspace to compile: the
+//! `Serialize`/`Deserialize` trait names (blanket-implemented for every
+//! type, so generic bounds always hold) and no-op derive macros. Swapping
+//! in real serde later is a one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`. Blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace marks its config and stats types `#[derive(Serialize,
+//! Deserialize)]` so that real serde can be dropped in once the build
+//! environment has registry access, but nothing actually serializes yet.
+//! These derives therefore expand to nothing; the blanket impls in the
+//! vendored `serde` crate satisfy any trait bounds. `attributes(serde)`
+//! is declared so `#[serde(...)]` field/container attributes stay legal.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
