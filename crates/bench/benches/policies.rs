@@ -34,6 +34,36 @@ fn bench_policies(c: &mut Criterion) {
     g.finish();
 }
 
+/// The acceptance benchmark of the event-driven-wakeup PR: the standard
+/// 4-thread mix for 100k measured cycles per iteration, per policy — the
+/// same configuration `scripts/bench_snapshot.sh` records into
+/// `BENCH_core.json`.
+fn bench_mix4_100k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_sweep");
+    g.sample_size(3);
+    g.throughput(Throughput::Elements(100_000));
+    for name in ["ICOUNT", "DCRA"] {
+        g.bench_function(format!("mix4_100k/{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let policy: Box<dyn smt_sim::policy::Policy> = if name == "DCRA" {
+                        Box::new(Dcra::default())
+                    } else {
+                        by_name(name).expect("known policy")
+                    };
+                    prepared_sim(&["art", "gcc", "twolf", "swim"], policy)
+                },
+                |mut sim| {
+                    sim.run_cycles(100_000);
+                    sim
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
 fn bench_thread_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator_scaling");
     g.throughput(Throughput::Elements(2_000));
@@ -56,5 +86,10 @@ fn bench_thread_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_policies, bench_thread_scaling);
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_mix4_100k,
+    bench_thread_scaling
+);
 criterion_main!(benches);

@@ -109,13 +109,15 @@ impl Policy for Dcra {
         let n = view.thread_count();
         self.activity(n).tick();
 
-        self.phases = view
-            .threads
-            .iter()
-            .map(|t| ThreadPhase::from_pending_misses(t.l1d_pending))
-            .collect();
+        self.phases.clear();
+        self.phases.extend(
+            view.threads
+                .iter()
+                .map(|t| ThreadPhase::from_pending_misses(t.l1d_pending)),
+        );
 
-        self.gated = vec![false; n];
+        self.gated.clear();
+        self.gated.resize(n, false);
         let activity = self.activity.as_ref().expect("initialised above");
 
         for kind in ResourceKind::ALL {
@@ -155,10 +157,9 @@ impl Policy for Dcra {
         }
     }
 
-    fn fetch_order(&mut self, view: &CycleView) -> Vec<ThreadId> {
-        let mut order: Vec<usize> = (0..view.thread_count()).collect();
-        order.sort_by_key(|&i| (view.threads[i].icount, i));
-        order.into_iter().map(ThreadId::new).collect()
+    fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>) {
+        // ICOUNT fetch priority (gating is separate, via `fetch_gate`).
+        smt_policies::icount_order_into(view, order);
     }
 
     fn fetch_gate(&mut self, t: ThreadId, _view: &CycleView) -> bool {
@@ -286,7 +287,9 @@ mod tests {
     fn fetch_order_is_icount() {
         let mut d = Dcra::default();
         let v = view(&[(9, 0, &[]), (3, 0, &[]), (6, 0, &[])]);
-        let order: Vec<usize> = d.fetch_order(&v).iter().map(|t| t.index()).collect();
+        let mut buf = Vec::new();
+        d.fetch_order(&v, &mut buf);
+        let order: Vec<usize> = buf.iter().map(|t| t.index()).collect();
         assert_eq!(order, vec![1, 2, 0]);
     }
 }

@@ -163,12 +163,14 @@ impl Policy for TableDcra {
             .get_or_insert_with(|| ActivityTracker::new(n, init))
             .tick();
 
-        self.phases = view
-            .threads
-            .iter()
-            .map(|t| ThreadPhase::from_pending_misses(t.l1d_pending))
-            .collect();
-        self.gated = vec![false; n];
+        self.phases.clear();
+        self.phases.extend(
+            view.threads
+                .iter()
+                .map(|t| ThreadPhase::from_pending_misses(t.l1d_pending)),
+        );
+        self.gated.clear();
+        self.gated.resize(n, false);
 
         let activity = self.activity.as_ref().expect("initialised above");
         let roms = self.roms.as_ref().expect("initialised above");
@@ -198,10 +200,9 @@ impl Policy for TableDcra {
         }
     }
 
-    fn fetch_order(&mut self, view: &CycleView) -> Vec<ThreadId> {
-        let mut order: Vec<usize> = (0..view.thread_count()).collect();
-        order.sort_by_key(|&i| (view.threads[i].icount, i));
-        order.into_iter().map(ThreadId::new).collect()
+    fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>) {
+        // ICOUNT fetch priority (gating is separate, via `fetch_gate`).
+        smt_policies::icount_order_into(view, order);
     }
 
     fn fetch_gate(&mut self, t: ThreadId, _view: &CycleView) -> bool {

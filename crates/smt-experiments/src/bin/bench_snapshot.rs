@@ -1,0 +1,128 @@
+//! Records simulator throughput (simulated cycles per wall-clock second)
+//! for every policy on the standard 4-thread sweep configuration, and
+//! appends the snapshot to a JSON trajectory file (`BENCH_core.json`).
+//!
+//! This is the number that determines how long paper-scale sweeps take;
+//! tracking it per PR keeps performance regressions visible. Usage:
+//!
+//! ```text
+//! cargo run --release -p smt-experiments --bin bench_snapshot -- \
+//!     [--smoke] [--label NAME] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the measured run for CI smoke coverage; `--out`
+//! defaults to `BENCH_core.json` in the current directory. The file keeps
+//! one snapshot per line inside a `"snapshots"` array, so successive runs
+//! append without a JSON parser.
+
+use smt_experiments::PolicyKind;
+use smt_sim::{SimConfig, Simulator};
+use smt_workloads::spec;
+use std::time::Instant;
+
+/// The 4-thread mix the `policies` Criterion bench and this snapshot share.
+const BENCHES: [&str; 4] = ["art", "gcc", "twolf", "swim"];
+
+fn policies() -> Vec<PolicyKind> {
+    [
+        "RR", "ICOUNT", "STALL", "FLUSH", "FLUSH++", "DG", "PDG", "SRA", "DCRA",
+    ]
+    .iter()
+    .map(|n| PolicyKind::from_name(n).expect("canonical policy"))
+    .collect()
+}
+
+fn prepared(policy: &PolicyKind) -> Simulator {
+    let profiles: Vec<_> = BENCHES
+        .iter()
+        .map(|b| spec::profile(b).expect("known benchmark"))
+        .collect();
+    let mut sim = Simulator::new(
+        SimConfig::baseline(BENCHES.len()),
+        &profiles,
+        policy.build(),
+        42,
+    );
+    sim.prewarm(100_000);
+    sim.run_cycles(5_000);
+    sim.reset_stats();
+    sim
+}
+
+/// Median wall-clock cycles/second over `reps` chunks of `cycles` each.
+fn measure(policy: &PolicyKind, cycles: u64, reps: usize) -> f64 {
+    let mut sim = prepared(policy);
+    let mut rates: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            sim.run_cycles(cycles);
+            cycles as f64 / t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+    rates[rates.len() / 2]
+}
+
+/// Existing snapshot lines of `path` (one JSON object per line, as written
+/// by this tool). Unknown or absent files yield no lines.
+fn existing_snapshots(path: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with("{ \"label\""))
+        .map(|l| l.trim_end_matches(',').to_string())
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let label = flag("--label").unwrap_or_else(|| "current".to_string());
+    let out = flag("--out").unwrap_or_else(|| "BENCH_core.json".to_string());
+    let (cycles, reps) = if smoke { (5_000, 1) } else { (100_000, 3) };
+
+    let mut fields = Vec::new();
+    let mut sum = 0.0;
+    for policy in policies() {
+        let rate = measure(&policy, cycles, reps);
+        eprintln!("{:>8}: {:>12.0} cycles/s", policy.name(), rate);
+        fields.push(format!("\"{}\": {:.0}", policy.name(), rate));
+        sum += rate;
+    }
+    let mean = sum / fields.len() as f64;
+    eprintln!("{:>8}: {:>12.0} cycles/s", "mean", mean);
+
+    let snapshot = format!(
+        "{{ \"label\": \"{label}\", \"smoke\": {smoke}, \"measured_cycles\": {cycles}, \
+         \"mean_cycles_per_sec\": {mean:.0}, \"cycles_per_sec\": {{ {} }} }}",
+        fields.join(", ")
+    );
+    let mut lines = existing_snapshots(&out);
+    lines.retain(|l| !l.contains(&format!("\"label\": \"{label}\"")));
+    lines.push(snapshot);
+
+    let body = lines
+        .iter()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{ \"schema\": \"bench_core.v1\",\n  \"bench\": \"policies/mix4 {}\",\n  \
+         \"note\": \"simulated cycles per wall-clock second, median of {reps} x {cycles}-cycle runs per policy; maintained by scripts/bench_snapshot.sh\",\n  \
+         \"snapshots\": [\n{body}\n] }}\n",
+        BENCHES.join("+"),
+    );
+    std::fs::write(&out, json).expect("write snapshot file");
+    println!(
+        "recorded {} policies into {out} (label \"{label}\")",
+        fields.len()
+    );
+}

@@ -9,6 +9,7 @@ use smt_sim::policy::Policy;
 use smt_sim::{SimConfig, SimResult, Simulator};
 use smt_workloads::{spec, Workload};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Which policy to run. A declarative, `Clone`able stand-in for
@@ -225,28 +226,38 @@ impl Runner {
         }
     }
 
-    /// Runs many specs in parallel (one OS thread per spec, bounded by the
-    /// available parallelism). Results are in spec order.
+    /// Runs many specs in parallel on a pool of worker threads fed from a
+    /// shared work queue (an atomic next-spec index). Unlike chunked
+    /// spawn-join, a straggling simulation never barriers the rest of its
+    /// chunk: every finished worker immediately claims the next spec.
+    /// Results are in spec order and identical to sequential runs (each
+    /// simulation is seeded and self-contained).
     pub fn run_all(&self, specs: &[RunSpec]) -> Vec<RunOutcome> {
-        let limit = std::thread::available_parallelism()
+        let workers = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(4);
-        let mut out: Vec<Option<RunOutcome>> = (0..specs.len()).map(|_| None).collect();
-        for chunk_ids in (0..specs.len()).collect::<Vec<_>>().chunks(limit) {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = chunk_ids
-                    .iter()
-                    .map(|&i| {
-                        let spec = &specs[i];
-                        (i, scope.spawn(move || Runner::new().run(spec)))
-                    })
-                    .collect();
-                for (i, h) in handles {
-                    out[i] = Some(h.join().expect("simulation thread panicked"));
-                }
-            });
-        }
-        out.into_iter().map(|o| o.expect("filled above")).collect()
+            .unwrap_or(4)
+            .min(specs.len().max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunOutcome>>> =
+            (0..specs.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let outcome = self.run(spec);
+                    *slots[i].lock().expect("poisoned result slot") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("poisoned result slot")
+                    .expect("worker pool covered every spec")
+            })
+            .collect()
     }
 
     /// Single-thread baseline IPC of `bench` on `config` (ICOUNT, full

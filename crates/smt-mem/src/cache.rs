@@ -63,6 +63,9 @@ pub struct Cache {
     sets: usize,
     ways: usize,
     line_shift: u32,
+    /// `log2(sets)` — the set count is a power of two, so the tag is
+    /// `line >> set_shift` instead of a per-access integer division.
+    set_shift: u32,
     tick: u64,
     stats: CacheStats,
 }
@@ -94,6 +97,7 @@ impl Cache {
             sets,
             ways: config.ways,
             line_shift: config.line_bytes.trailing_zeros(),
+            set_shift: sets.trailing_zeros(),
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -101,12 +105,13 @@ impl Cache {
 
     /// Looks up `addr`; on a miss, allocates the line (evicting LRU).
     /// Returns `true` on hit.
+    #[inline]
     pub fn access(&mut self, addr: u64, _is_write: bool) -> bool {
         self.stats.accesses += 1;
         self.tick += 1;
         let line = addr >> self.line_shift;
         let set = (line as usize) & (self.sets - 1);
-        let tag = line / self.sets as u64;
+        let tag = line >> self.set_shift;
         let base = set * self.ways;
 
         let mut victim = base;
@@ -132,7 +137,7 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> bool {
         let line = addr >> self.line_shift;
         let set = (line as usize) & (self.sets - 1);
-        let tag = line / self.sets as u64;
+        let tag = line >> self.set_shift;
         (0..self.ways).any(|w| self.tags[set * self.ways + w] == tag)
     }
 

@@ -237,7 +237,9 @@ impl MemoryHierarchy {
             };
         }
 
-        let line = addr / u64::from(self.config.dl1.line_bytes);
+        // Line size is a power of two (checked by `Cache::new`), so the
+        // MSHR line id is a shift, not a division.
+        let line = addr >> self.config.dl1.line_bytes.trailing_zeros();
         if self.dl1.access(addr, is_write) {
             // L1 hit, unless the fill is still in flight (then coalesce).
             if let Some(remaining) = self.mshr.remaining(line, now) {
@@ -318,6 +320,13 @@ impl MemoryHierarchy {
     /// the quantity behind the paper's memory-parallelism measurements.
     pub fn outstanding_l2_misses(&mut self, now: u64) -> Vec<u32> {
         self.mshr.outstanding_per_thread(now, self.stats.len())
+    }
+
+    /// Allocation-free variant of [`Self::outstanding_l2_misses`]: fills
+    /// `counts` (one slot per thread) in place. The simulator calls this
+    /// every cycle, so it must not allocate.
+    pub fn outstanding_l2_misses_into(&mut self, now: u64, counts: &mut [u32]) {
+        self.mshr.outstanding_into(now, counts);
     }
 
     /// Per-thread statistics.

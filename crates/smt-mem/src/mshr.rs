@@ -2,8 +2,10 @@
 //! memory-level-parallelism accounting.
 
 use crate::HitLevel;
+use fxhash::FxHashMap;
 use smt_isa::ThreadId;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// One outstanding cache fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,9 +29,24 @@ pub struct OutstandingMiss {
 /// 2. *MLP accounting*: "how many L2 misses does each thread have in flight
 ///    right now?" ([`MshrFile::outstanding_per_thread`]), the statistic
 ///    behind the paper's Section 5.2 memory-parallelism comparison.
+///
+/// Lookups happen on every data access, so the map uses the vendored
+/// FxHash (one multiply per key) instead of SipHash; iteration order is
+/// never observed, only per-key lookups and order-independent sums. MLP
+/// accounting is incremental — per-thread memory-level fill counts are
+/// maintained on insert/remove and expired entries are collected through
+/// a ready-time-ordered expiry queue — so the per-cycle sampling never
+/// walks the map.
 #[derive(Debug, Clone, Default)]
 pub struct MshrFile {
-    entries: HashMap<u64, OutstandingMiss>,
+    entries: FxHashMap<u64, OutstandingMiss>,
+    /// `(ready_at, line)` of every insert, oldest fill first. Lazy mirror
+    /// of `entries`: an entry removed early (by [`MshrFile::remaining`])
+    /// leaves its node behind, which is recognised and skipped when it
+    /// surfaces.
+    expiry: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Memory-level fills currently tracked, per thread (grown on demand).
+    mem_inflight: Vec<u32>,
 }
 
 impl MshrFile {
@@ -42,20 +59,60 @@ impl MshrFile {
     /// `ready_at`. An existing in-flight entry for the same line is kept
     /// (first requester wins, as hardware MSHRs merge secondary misses).
     pub fn allocate(&mut self, line: u64, owner: ThreadId, level: HitLevel, ready_at: u64) {
-        self.entries.entry(line).or_insert(OutstandingMiss {
-            ready_at,
-            owner,
-            level,
+        let mut inserted = false;
+        self.entries.entry(line).or_insert_with(|| {
+            inserted = true;
+            OutstandingMiss {
+                ready_at,
+                owner,
+                level,
+            }
         });
+        if inserted {
+            self.expiry.push(Reverse((ready_at, line)));
+            if level == HitLevel::Memory {
+                let slot = owner.index();
+                if slot >= self.mem_inflight.len() {
+                    self.mem_inflight.resize(slot + 1, 0);
+                }
+                self.mem_inflight[slot] += 1;
+            }
+        }
+    }
+
+    /// Drops `line`'s entry, keeping the per-thread MLP counts in sync.
+    fn evict(&mut self, line: u64) {
+        if let Some(e) = self.entries.remove(&line) {
+            if e.level == HitLevel::Memory {
+                self.mem_inflight[e.owner.index()] -= 1;
+            }
+        }
+    }
+
+    /// Pops every expiry-queue node at or before `now`, removing the map
+    /// entries that are genuinely done. A node whose map entry is missing
+    /// (collected early by [`MshrFile::remaining`]) or was re-allocated
+    /// with a later deadline is skipped.
+    fn purge_expired(&mut self, now: u64) {
+        while let Some(&Reverse((ready_at, line))) = self.expiry.peek() {
+            if ready_at > now {
+                break;
+            }
+            self.expiry.pop();
+            if self.entries.get(&line).is_some_and(|e| e.ready_at <= now) {
+                self.evict(line);
+            }
+        }
     }
 
     /// Remaining cycles until `line`'s fill completes, or `None` if no fill
     /// is in flight at `now`. Completed entries are garbage-collected.
+    #[inline]
     pub fn remaining(&mut self, line: u64, now: u64) -> Option<u32> {
         match self.entries.get(&line) {
             Some(e) if e.ready_at > now => Some((e.ready_at - now) as u32),
             Some(_) => {
-                self.entries.remove(&line);
+                self.evict(line);
                 None
             }
             None => None,
@@ -64,6 +121,7 @@ impl MshrFile {
 
     /// Fill level of an in-flight line (L1 hit-under-miss classification).
     /// Returns [`HitLevel::L1`] if the line is not tracked.
+    #[inline]
     pub fn level_of(&self, line: u64) -> HitLevel {
         self.entries
             .get(&line)
@@ -74,14 +132,21 @@ impl MshrFile {
     /// Number of *memory-level* (L2-miss) fills in flight per thread at
     /// `now`. Expired entries are purged as a side effect.
     pub fn outstanding_per_thread(&mut self, now: u64, threads: usize) -> Vec<u32> {
-        self.entries.retain(|_, e| e.ready_at > now);
         let mut counts = vec![0u32; threads];
-        for e in self.entries.values() {
-            if e.level == HitLevel::Memory {
-                counts[e.owner.index()] += 1;
-            }
-        }
+        self.outstanding_into(now, &mut counts);
         counts
+    }
+
+    /// Allocation-free variant of [`MshrFile::outstanding_per_thread`]:
+    /// writes the per-thread counts into `counts` (zeroed first), sized by
+    /// the caller. Used by the simulator's per-cycle MLP sampling — after
+    /// the expired fills are purged this is a copy of the incrementally
+    /// maintained counters, not a walk over the MSHR map.
+    pub fn outstanding_into(&mut self, now: u64, counts: &mut [u32]) {
+        self.purge_expired(now);
+        counts.fill(0);
+        let n = counts.len().min(self.mem_inflight.len());
+        counts[..n].copy_from_slice(&self.mem_inflight[..n]);
     }
 
     /// Number of tracked in-flight fills (any level).

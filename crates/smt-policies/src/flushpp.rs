@@ -1,6 +1,6 @@
 //! FLUSH++ fetch policy (Cazorla et al., ISHPC'03).
 
-use crate::icount::icount_order;
+use crate::icount::icount_order_into;
 use smt_isa::ThreadId;
 use smt_sim::policy::{CycleView, MissResponse, Policy};
 
@@ -83,8 +83,8 @@ impl Policy for FlushPlusPlus {
         }
     }
 
-    fn fetch_order(&mut self, view: &CycleView) -> Vec<ThreadId> {
-        icount_order(view)
+    fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>) {
+        icount_order_into(view, order);
     }
 
     fn fetch_gate(&mut self, t: ThreadId, view: &CycleView) -> bool {

@@ -3,13 +3,21 @@
 use smt_isa::ThreadId;
 use smt_sim::policy::{CycleView, Policy};
 
-/// Orders threads by ascending pre-issue instruction count — the shared
-/// priority function of ICOUNT and every policy built on top of it. Ties
-/// break toward lower thread ids (deterministic).
+/// Appends the threads in ascending pre-issue instruction count to `out` —
+/// the shared priority function of ICOUNT and every policy built on top of
+/// it. Ties break toward lower thread ids (deterministic). Writing into a
+/// caller-owned buffer keeps per-cycle ordering allocation-free.
+pub fn icount_order_into(view: &CycleView, out: &mut Vec<ThreadId>) {
+    let first = out.len();
+    out.extend((0..view.thread_count()).map(ThreadId::new));
+    out[first..].sort_by_key(|t| (view.threads[t.index()].icount, t.index()));
+}
+
+/// Allocating convenience wrapper around [`icount_order_into`].
 pub fn icount_order(view: &CycleView) -> Vec<ThreadId> {
-    let mut order: Vec<usize> = (0..view.thread_count()).collect();
-    order.sort_by_key(|&i| (view.threads[i].icount, i));
-    order.into_iter().map(ThreadId::new).collect()
+    let mut order = Vec::with_capacity(view.thread_count());
+    icount_order_into(view, &mut order);
+    order
 }
 
 /// The ICOUNT fetch policy: prioritise the threads with the fewest
@@ -37,8 +45,8 @@ impl Policy for Icount {
         "ICOUNT"
     }
 
-    fn fetch_order(&mut self, view: &CycleView) -> Vec<ThreadId> {
-        icount_order(view)
+    fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>) {
+        icount_order_into(view, order);
     }
 }
 
@@ -81,6 +89,17 @@ mod tests {
     fn policy_exposes_order() {
         let mut p = Icount;
         let v = view(&[2, 1]);
-        assert_eq!(p.fetch_order(&v)[0].index(), 1);
+        let mut order = Vec::new();
+        p.fetch_order(&v, &mut order);
+        assert_eq!(order[0].index(), 1);
+    }
+
+    #[test]
+    fn into_variant_appends_after_existing_entries() {
+        let v = view(&[4, 2, 9]);
+        let mut out = vec![ThreadId::new(7)];
+        icount_order_into(&v, &mut out);
+        let idx: Vec<usize> = out.iter().map(|t| t.index()).collect();
+        assert_eq!(idx, vec![7, 1, 0, 2], "pre-existing entries untouched");
     }
 }

@@ -42,7 +42,7 @@ mod stall;
 pub use dg::DataGating;
 pub use flush::Flush;
 pub use flushpp::FlushPlusPlus;
-pub use icount::{icount_order, Icount};
+pub use icount::{icount_order, icount_order_into, Icount};
 pub use pdg::PredictiveDataGating;
 pub use sra::StaticAllocation;
 pub use stall::Stall;

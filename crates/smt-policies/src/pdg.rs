@@ -1,9 +1,9 @@
 //! Predictive Data Gating fetch policy (El-Moursy & Albonesi, HPCA'03).
 
-use crate::icount::icount_order;
+use crate::icount::icount_order_into;
+use fxhash::FxHashMap;
 use smt_isa::{DecodedInst, InstClass, ThreadId};
 use smt_sim::policy::{CycleView, Policy};
-use std::collections::HashMap;
 
 /// PDG stalls a thread as soon as a load *predicted* to miss the L1 is
 /// fetched, instead of waiting for the miss to be detected (DG). The miss
@@ -29,8 +29,9 @@ pub struct PredictiveDataGating {
     /// Per-thread count of in-flight loads that were predicted to miss.
     predicted_inflight: Vec<u32>,
     /// Per-thread multiset of in-flight predicted-miss load PCs, to release
-    /// the gate when they complete or are squashed.
-    inflight_pcs: Vec<HashMap<u64, u32>>,
+    /// the gate when they complete or are squashed. Touched on every load
+    /// fetch/completion, hence the Fx-hashed map.
+    inflight_pcs: Vec<FxHashMap<u64, u32>>,
 }
 
 impl Default for PredictiveDataGating {
@@ -55,7 +56,7 @@ impl PredictiveDataGating {
     fn ensure(&mut self, n: usize) {
         if self.predicted_inflight.len() < n {
             self.predicted_inflight.resize(n, 0);
-            self.inflight_pcs.resize(n, HashMap::new());
+            self.inflight_pcs.resize(n, FxHashMap::default());
         }
     }
 
@@ -75,8 +76,8 @@ impl Policy for PredictiveDataGating {
         "PDG"
     }
 
-    fn fetch_order(&mut self, view: &CycleView) -> Vec<ThreadId> {
-        icount_order(view)
+    fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>) {
+        icount_order_into(view, order);
     }
 
     fn fetch_gate(&mut self, t: ThreadId, view: &CycleView) -> bool {

@@ -1,6 +1,6 @@
 //! Static resource allocation (SRA).
 
-use crate::icount::icount_order;
+use crate::icount::icount_order_into;
 use smt_isa::{PerResource, QueueKind, RegClass, ResourceKind, ThreadId};
 use smt_sim::policy::{CycleView, Policy};
 
@@ -54,8 +54,8 @@ impl Policy for StaticAllocation {
         "SRA"
     }
 
-    fn fetch_order(&mut self, view: &CycleView) -> Vec<ThreadId> {
-        icount_order(view)
+    fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>) {
+        icount_order_into(view, order);
     }
 
     fn may_dispatch(

@@ -1,6 +1,6 @@
 //! STALL fetch policy (Tullsen & Brown, MICRO'01).
 
-use crate::icount::icount_order;
+use crate::icount::icount_order_into;
 use smt_isa::ThreadId;
 use smt_sim::policy::{CycleView, MissResponse, Policy};
 
@@ -29,8 +29,8 @@ impl Policy for Stall {
         "STALL"
     }
 
-    fn fetch_order(&mut self, view: &CycleView) -> Vec<ThreadId> {
-        icount_order(view)
+    fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>) {
+        icount_order_into(view, order);
     }
 
     fn fetch_gate(&mut self, t: ThreadId, view: &CycleView) -> bool {

@@ -4,7 +4,7 @@ use crate::config::SimConfig;
 use crate::inst::{DynInst, Stage};
 use crate::policy::{CycleView, MissResponse, Policy, ThreadView};
 use crate::stats::{SimResult, ThreadStats};
-use crate::thread::ThreadState;
+use crate::thread::{ThreadState, NO_WAITER};
 use smt_bpred::BranchPredictor;
 use smt_isa::{InstClass, PerResource, QueueKind, ThreadId};
 use smt_mem::MemoryHierarchy;
@@ -29,6 +29,82 @@ enum EventKind {
     /// An outstanding load is recognised as an L2 miss (one L2 latency
     /// after issue — the "detected too late" effect of Section 2).
     DetectL2,
+}
+
+/// Ready-list key: `(dispatched_at, seq, tid, uid)`. The first three
+/// fields reproduce the age order the scan-based issue stage used
+/// (`sort_unstable` over the same tuple); `uid` identifies the
+/// incarnation so entries left behind by a squash are recognised as
+/// stale when popped.
+type ReadyKey = (u64, u64, usize, u64);
+
+/// Timing wheel for the simulator's completion/detection events.
+///
+/// Event latencies are bounded by the memory system (worst case: L1 + L2 +
+/// memory + TLB penalty), so events land in a power-of-two ring of per-cycle
+/// buckets: O(1) scheduling and draining instead of a binary heap's
+/// `O(log n)` tuple comparisons. Each cycle's bucket is sorted before
+/// processing, which reproduces the heap's global `(at, uid, tid, seq,
+/// kind)` drain order exactly — every event in the bucket shares the same
+/// `at`. Events beyond the wheel horizon (odd configurations only) spill
+/// into a small overflow heap that is merged on drain.
+#[derive(Debug)]
+struct EventWheel {
+    slots: Vec<Vec<Event>>,
+    mask: u64,
+    overflow: BinaryHeap<Reverse<Event>>,
+    /// Drain scratch, reused every cycle.
+    due: Vec<Event>,
+}
+
+impl EventWheel {
+    /// Builds a wheel covering at least `max_delay` cycles of look-ahead.
+    fn new(max_delay: u64) -> Self {
+        let size = (max_delay + 2).max(16).next_power_of_two();
+        EventWheel {
+            slots: (0..size).map(|_| Vec::new()).collect(),
+            mask: size - 1,
+            overflow: BinaryHeap::new(),
+            due: Vec::new(),
+        }
+    }
+
+    /// Schedules `ev`. All real latencies are at least one cycle; should a
+    /// degenerate configuration produce `at <= now`, the event lands in the
+    /// next cycle's bucket (this cycle's drain has already run), which is
+    /// exactly when the replaced binary-heap drain would have delivered it.
+    fn push(&mut self, now: u64, ev: Event) {
+        let deliver_at = ev.at.max(now + 1);
+        if deliver_at - now <= self.mask {
+            self.slots[(deliver_at & self.mask) as usize].push(ev);
+        } else {
+            self.overflow.push(Reverse(ev));
+        }
+    }
+
+    /// Moves every event due at `now` into the `due` scratch buffer,
+    /// sorted in the canonical event order, and returns the buffer by
+    /// value for borrow-free iteration (return it via [`Self::restore`]).
+    fn take_due(&mut self, now: u64) -> Vec<Event> {
+        let mut due = std::mem::take(&mut self.due);
+        due.clear();
+        due.append(&mut self.slots[(now & self.mask) as usize]);
+        while let Some(&Reverse(ev)) = self.overflow.peek() {
+            if ev.at > now {
+                break;
+            }
+            self.overflow.pop();
+            due.push(ev);
+        }
+        debug_assert!(due.iter().all(|e| e.at <= now), "stale bucket entry");
+        due.sort_unstable();
+        due
+    }
+
+    /// Hands the drain buffer back for reuse.
+    fn restore(&mut self, due: Vec<Event>) {
+        self.due = due;
+    }
 }
 
 /// The cycle-level SMT processor simulator.
@@ -65,9 +141,26 @@ pub struct Simulator {
     iq_used: [u32; 3],
     regs_used: [u32; 2],
     usage: Vec<PerResource<u32>>,
-    events: BinaryHeap<Reverse<Event>>,
+    events: EventWheel,
     stats: Vec<ThreadStats>,
     commit_rr: usize,
+    /// Event-driven wakeup scoreboard: one ready list per issue queue,
+    /// ordered oldest-first by [`ReadyKey`]. `issue()` pops from these
+    /// instead of rescanning every in-flight instruction.
+    ready: [BinaryHeap<Reverse<ReadyKey>>; 3],
+    /// Reusable per-cycle policy view (refreshed in place at the start of
+    /// every cycle; also used by `fetch`, which sees pre-commit state).
+    cycle_view: CycleView,
+    /// Reusable mid-cycle policy view for `dispatch` / `detect_l2`, which
+    /// need post-commit/issue state.
+    scratch_view: CycleView,
+    /// Reusable fetch-order buffer handed to the policy each cycle.
+    order_scratch: Vec<ThreadId>,
+    /// Reusable per-thread MLP sample buffer.
+    mlp_scratch: Vec<u32>,
+    /// `config.resource_totals()`, computed once — the configuration is
+    /// immutable after construction and the view is refreshed every cycle.
+    totals: PerResource<u32>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -111,6 +204,7 @@ impl Simulator {
             })
             .collect();
         let n = threads.len();
+        let totals = config.resource_totals();
         Simulator {
             bpred: BranchPredictor::new(&config.bpred, n),
             mem: MemoryHierarchy::new(&config.mem, n),
@@ -123,10 +217,23 @@ impl Simulator {
             iq_used: [0; 3],
             regs_used: [0; 2],
             usage: vec![PerResource::default(); n],
-            events: BinaryHeap::new(),
+            events: EventWheel::new(
+                u64::from(config.regread_delay)
+                    + u64::from(config.mem.dl1.latency)
+                    + u64::from(config.mem.l2.latency)
+                    + u64::from(config.mem.memory_latency)
+                    + u64::from(config.mem.tlb_miss_penalty)
+                    + 64,
+            ),
             stats: vec![ThreadStats::default(); n],
             config,
             commit_rr: 0,
+            ready: [BinaryHeap::new(), BinaryHeap::new(), BinaryHeap::new()],
+            cycle_view: CycleView::default(),
+            scratch_view: CycleView::default(),
+            order_scratch: Vec::new(),
+            mlp_scratch: vec![0; n],
+            totals,
         }
     }
 
@@ -229,25 +336,21 @@ impl Simulator {
         }
     }
 
-    /// Builds the per-cycle view handed to the policy.
-    fn view(&self) -> CycleView {
-        CycleView {
-            now: self.now,
-            threads: self
-                .threads
-                .iter()
-                .enumerate()
-                .map(|(i, t)| ThreadView {
-                    icount: t.pre_issue,
-                    usage: self.usage[i],
-                    l1d_pending: t.l1d_pending,
-                    l2_pending: t.l2_pending,
-                    committed: self.stats[i].committed,
-                    l2_misses: self.stats[i].l2_misses,
-                    loads: self.stats[i].loads,
-                })
-                .collect(),
-            totals: self.config.resource_totals(),
+    /// Refreshes a reusable per-cycle view in place — the allocation-free
+    /// replacement for building a fresh `CycleView` every call.
+    fn fill_view(&self, view: &mut CycleView) {
+        view.now = self.now;
+        view.totals = self.totals;
+        view.threads
+            .resize_with(self.threads.len(), ThreadView::default);
+        for (i, (tv, th)) in view.threads.iter_mut().zip(&self.threads).enumerate() {
+            tv.icount = th.pre_issue;
+            tv.usage = self.usage[i];
+            tv.l1d_pending = th.l1d_pending;
+            tv.l2_pending = th.l2_pending;
+            tv.committed = self.stats[i].committed;
+            tv.l2_misses = self.stats[i].l2_misses;
+            tv.loads = self.stats[i].loads;
         }
     }
 
@@ -257,11 +360,16 @@ impl Simulator {
         self.step();
     }
 
-    /// Advances the machine one cycle.
+    /// Advances the machine one cycle. Steady-state allocation-free: the
+    /// policy view, fetch order, ready lists and MLP sample buffer are all
+    /// long-lived buffers reused across cycles.
     pub fn step(&mut self) {
-        let view = self.view();
+        let mut view = std::mem::take(&mut self.cycle_view);
+        let mut order = std::mem::take(&mut self.order_scratch);
+        self.fill_view(&mut view);
         self.policy.begin_cycle(&view);
-        let order = self.policy.fetch_order(&view);
+        order.clear();
+        self.policy.fetch_order(&view, &mut order);
 
         self.drain_events();
         self.commit();
@@ -270,16 +378,15 @@ impl Simulator {
         self.fetch(&order, &view);
         self.sample_mlp();
         self.now += 1;
+        self.cycle_view = view;
+        self.order_scratch = order;
     }
 
     // ----------------------------------------------------------------- events
 
     fn drain_events(&mut self) {
-        while let Some(ev) = self.events.peek().map(|Reverse(e)| *e) {
-            if ev.at > self.now {
-                break;
-            }
-            self.events.pop();
+        let due = self.events.take_due(self.now);
+        for ev in &due {
             // The instruction may have been squashed (uid mismatch) or even
             // re-fetched under the same seq; both are stale.
             let valid = self.threads[ev.tid]
@@ -294,6 +401,7 @@ impl Simulator {
                 EventKind::DetectL2 => self.detect_l2(ev.tid, ev.seq),
             }
         }
+        self.events.restore(due);
     }
 
     fn complete_inst(&mut self, tid: usize, seq: u64) {
@@ -307,6 +415,7 @@ impl Simulator {
         let l2_miss = inst.l2_miss;
         let l2_detected = inst.l2_detected;
         let pc = inst.decoded.pc;
+        let is_load = inst.decoded.class == InstClass::Load;
 
         if l1_miss {
             th.l1d_pending -= 1;
@@ -317,10 +426,32 @@ impl Simulator {
         if th.stall_on_load == Some(seq) {
             th.stall_on_load = None;
         }
-        let is_load = matches!(
-            self.threads[tid].get(seq).map(|i| i.decoded.class),
-            Some(InstClass::Load)
-        );
+
+        // Event-driven wakeup: this result is now available, so walk the
+        // completed instruction's consumer wait-list, decrement each live
+        // consumer's outstanding-operand count, and move the newly-ready
+        // ones onto their queue's ready list. Nodes whose uid no longer
+        // matches belong to squashed incarnations and are just recycled.
+        // The window's shape is stable during the walk, so the base is
+        // resolved once and consumers are indexed directly.
+        let base = th.window_base().expect("completing inst is in the window");
+        let mut node = th.detach_waiters_at((seq - base) as usize);
+        while node != NO_WAITER {
+            let (w, next) = th.take_waiter(node);
+            node = next;
+            debug_assert!(w.seq > base, "consumers are younger than their producer");
+            if let Some(consumer) = th.window.get_mut((w.seq - base) as usize) {
+                if consumer.uid == w.uid && consumer.stage == Stage::Dispatched {
+                    consumer.pending_ops -= 1;
+                    if consumer.pending_ops == 0 {
+                        let key = (consumer.dispatched_at, w.seq, tid, consumer.uid);
+                        let q = consumer.decoded.class.queue();
+                        self.ready[q.index()].push(Reverse(key));
+                    }
+                }
+            }
+        }
+
         if is_load {
             self.policy.on_load_complete(t, pc, l1_miss);
         }
@@ -356,8 +487,11 @@ impl Simulator {
             inst.l2_detected = true;
             th.l2_pending += 1;
         }
-        let view = self.view();
-        match self.policy.on_l2_miss_detected(t, &view) {
+        let mut view = std::mem::take(&mut self.scratch_view);
+        self.fill_view(&mut view);
+        let response = self.policy.on_l2_miss_detected(t, &view);
+        self.scratch_view = view;
+        match response {
             MissResponse::Continue => {}
             MissResponse::Stall => {
                 self.threads[tid].stall_on_load = Some(seq);
@@ -410,28 +544,33 @@ impl Simulator {
         let mut global_budget = self.config.decode_width; // issue width = 8
         for q in QueueKind::ALL {
             let mut unit_budget = self.config.units(q).min(global_budget);
-            if unit_budget == 0 {
-                continue;
-            }
-            // Collect ready candidates, oldest first.
-            let mut candidates: Vec<(u64, u64, usize, u64)> = Vec::new();
-            for (tid, th) in self.threads.iter().enumerate() {
-                let Some(base) = th.window_base() else {
-                    continue;
-                };
-                for inst in th.window.iter() {
-                    if inst.stage != Stage::Dispatched || inst.decoded.class.queue() != q {
-                        continue;
-                    }
-                    if self.operands_ready(tid, base, inst) {
-                        candidates.push((inst.dispatched_at, inst.seq, tid, inst.seq));
-                    }
-                }
-            }
-            candidates.sort_unstable();
-            for (_, _, tid, seq) in candidates {
-                if unit_budget == 0 || global_budget == 0 {
+            // Pop ready instructions oldest-first. No window scan: the
+            // wakeup scoreboard moved every issuable instruction onto this
+            // queue's ready list when its last operand completed. Entries
+            // whose uid no longer matches (or whose instruction is no
+            // longer Dispatched) were squashed after being woken; they are
+            // discarded without consuming issue bandwidth, exactly as the
+            // scan never saw them.
+            while unit_budget > 0 && global_budget > 0 {
+                let Some(Reverse((_, seq, tid, uid))) = self.ready[q.index()].pop() else {
                     break;
+                };
+                let live = self.threads[tid]
+                    .get(seq)
+                    .map(|i| i.uid == uid && i.stage == Stage::Dispatched)
+                    .unwrap_or(false);
+                if !live {
+                    continue;
+                }
+                #[cfg(debug_assertions)]
+                {
+                    let th = &self.threads[tid];
+                    let base = th.window_base().expect("live inst implies a window");
+                    let inst = th.get(seq).expect("validated above");
+                    debug_assert!(
+                        self.operands_ready(tid, base, inst),
+                        "wakeup scoreboard woke T{tid} seq {seq} before its operands"
+                    );
                 }
                 self.issue_one(tid, seq);
                 unit_budget -= 1;
@@ -461,11 +600,15 @@ impl Simulator {
         let now = self.now;
         let regread = u64::from(self.config.regread_delay);
         let th = &mut self.threads[tid];
-        let inst = th.get_mut(seq).expect("issuing unknown instruction");
+        // The window does not change shape during issue, so resolve the
+        // seq → slot mapping once and index directly from here on.
+        let idx = (seq - th.window_base().expect("issuing into an empty window")) as usize;
+        let inst = &mut th.window[idx];
         let class = inst.decoded.class;
         let q = class.queue();
         let uid = inst.uid;
         let mem_access = inst.decoded.mem;
+        let pc = inst.decoded.pc;
 
         inst.stage = Stage::Executing;
         th.pre_issue -= 1;
@@ -479,26 +622,24 @@ impl Simulator {
                 self.stats[tid].loads += 1;
                 if outcome.l1_miss() {
                     let th = &mut self.threads[tid];
-                    let pc = {
-                        let inst = th.get_mut(seq).expect("load vanished");
-                        inst.l1_miss = true;
-                        inst.decoded.pc
-                    };
+                    th.window[idx].l1_miss = true;
                     th.l1d_pending += 1;
                     self.stats[tid].l1d_misses += 1;
                     self.policy.on_l1d_miss(t, pc);
                 }
                 if outcome.l2_miss() {
-                    let th = &mut self.threads[tid];
-                    th.get_mut(seq).expect("load vanished").l2_miss = true;
+                    self.threads[tid].window[idx].l2_miss = true;
                     self.stats[tid].l2_misses += 1;
-                    self.events.push(Reverse(Event {
-                        at: now + u64::from(self.config.mem.l2.latency),
-                        uid,
-                        tid,
-                        seq,
-                        kind: EventKind::DetectL2,
-                    }));
+                    self.events.push(
+                        now,
+                        Event {
+                            at: now + u64::from(self.config.mem.l2.latency),
+                            uid,
+                            tid,
+                            seq,
+                            kind: EventKind::DetectL2,
+                        },
+                    );
                 }
                 now + regread + u64::from(outcome.latency)
             }
@@ -511,17 +652,17 @@ impl Simulator {
             }
             c => now + regread + u64::from(c.exec_latency()),
         };
-        self.threads[tid]
-            .get_mut(seq)
-            .expect("issued inst vanished")
-            .ready_at = ready_at;
-        self.events.push(Reverse(Event {
-            at: ready_at,
-            uid,
-            tid,
-            seq,
-            kind: EventKind::Complete,
-        }));
+        self.threads[tid].window[idx].ready_at = ready_at;
+        self.events.push(
+            now,
+            Event {
+                at: ready_at,
+                uid,
+                tid,
+                seq,
+                kind: EventKind::Complete,
+            },
+        );
     }
 
     // --------------------------------------------------------------- dispatch
@@ -531,7 +672,8 @@ impl Simulator {
         // The view's usage is kept live across this cycle's dispatches so
         // hard-partition policies (SRA) see every allocation immediately —
         // otherwise several same-cycle dispatches could overshoot a cap.
-        let mut view = self.view();
+        let mut view = std::mem::take(&mut self.scratch_view);
+        self.fill_view(&mut view);
         for &t in order {
             let tid = t.index();
             while budget > 0 {
@@ -569,9 +711,13 @@ impl Simulator {
                 }
                 // Allocate.
                 let th = &mut self.threads[tid];
-                let inst = th.get_mut(seq).expect("dispatch lookup");
+                let base = th.window_base().expect("dispatched inst is in the window");
+                let idx = (seq - base) as usize;
+                let inst = &mut th.window[idx];
                 inst.stage = Stage::Dispatched;
                 inst.dispatched_at = self.now;
+                let uid = inst.uid;
+                let deps = inst.deps;
                 th.next_dispatch += 1;
                 self.rob_used += 1;
                 self.iq_used[q.index()] += 1;
@@ -582,10 +728,37 @@ impl Simulator {
                     view.threads[tid].usage[d.resource()] += 1;
                 }
                 view.threads[tid].usage[q.resource()] += 1;
+
+                // Wakeup scoreboard entry: count the operands still in
+                // flight and subscribe to their producers. Producers below
+                // the window base have committed and producers already
+                // `Done` have their results — neither is outstanding.
+                let th = &mut self.threads[tid];
+                let mut pending = 0u8;
+                for p in deps.iter().flatten().copied() {
+                    if p < base {
+                        continue;
+                    }
+                    let pidx = (p - base) as usize;
+                    let outstanding = th
+                        .window
+                        .get(pidx)
+                        .is_some_and(|prod| prod.stage != Stage::Done);
+                    if outstanding {
+                        pending += 1;
+                        th.register_waiter_at(pidx, seq, uid);
+                    }
+                }
+                th.window[idx].pending_ops = pending;
+                if pending == 0 {
+                    self.ready[q.index()].push(Reverse((self.now, seq, tid, uid)));
+                }
+
                 self.policy.on_dispatch(t, q, dest);
                 budget -= 1;
             }
         }
+        self.scratch_view = view;
     }
 
     // ------------------------------------------------------------------ fetch
@@ -711,6 +884,11 @@ impl Simulator {
                 break;
             }
             let inst = th.window.pop_back().expect("checked non-empty");
+            // Recycle the squashed instruction's consumer wait-list (its
+            // consumers are younger, so they are being squashed too; ready
+            // entries and wait-list nodes that still name this incarnation
+            // elsewhere are recognised as stale by uid).
+            th.free_waiters(inst.waiters_head);
             match inst.stage {
                 Stage::Fetched => {
                     th.pre_issue -= 1;
@@ -772,8 +950,9 @@ impl Simulator {
     // ------------------------------------------------------------------- misc
 
     fn sample_mlp(&mut self) {
-        let counts = self.mem.outstanding_l2_misses(self.now);
-        for (tid, c) in counts.into_iter().enumerate() {
+        self.mem
+            .outstanding_l2_misses_into(self.now, &mut self.mlp_scratch);
+        for (tid, &c) in self.mlp_scratch.iter().enumerate() {
             if c > 0 {
                 self.stats[tid].mlp_sum += u64::from(c);
                 self.stats[tid].mlp_cycles += 1;
@@ -838,6 +1017,50 @@ impl Simulator {
         assert_eq!(self.rob_used, rob, "rob drift");
         assert_eq!(self.iq_used, iq, "iq drift");
         assert_eq!(self.regs_used, regs, "regs drift");
+
+        // Wakeup-scoreboard invariants: every waiting instruction's
+        // outstanding-operand count matches a fresh scan, and everything
+        // the scan would consider issuable sits on its queue's ready list.
+        for (tid, th) in self.threads.iter().enumerate() {
+            let Some(base) = th.window_base() else {
+                continue;
+            };
+            for inst in th.window.iter() {
+                if inst.stage != Stage::Dispatched {
+                    continue;
+                }
+                let outstanding = inst
+                    .deps
+                    .iter()
+                    .flatten()
+                    .filter(|&&p| {
+                        p >= base
+                            && th
+                                .window
+                                .get((p - base) as usize)
+                                .is_some_and(|prod| prod.stage != Stage::Done)
+                    })
+                    .count() as u8;
+                assert_eq!(
+                    inst.pending_ops, outstanding,
+                    "T{tid} seq {} pending_ops drift",
+                    inst.seq
+                );
+                assert_eq!(
+                    self.operands_ready(tid, base, inst),
+                    outstanding == 0,
+                    "T{tid} seq {} scan/scoreboard disagreement",
+                    inst.seq
+                );
+                if outstanding == 0 {
+                    let q = inst.decoded.class.queue();
+                    let listed = self.ready[q.index()]
+                        .iter()
+                        .any(|Reverse((_, s, t, u))| *s == inst.seq && *t == tid && *u == inst.uid);
+                    assert!(listed, "T{tid} seq {} ready but not listed", inst.seq);
+                }
+            }
+        }
     }
 
     /// Current pre-issue instruction count of a thread — the quantity the

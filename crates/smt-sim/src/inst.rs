@@ -37,6 +37,15 @@ pub(crate) struct DynInst {
     pub ready_at: u64,
     /// Absolute producer sequence numbers within the same thread.
     pub deps: [Option<u64>; 2],
+    /// Wakeup scoreboard: number of source operands still outstanding.
+    /// Counted at dispatch; decremented by producers as they complete.
+    /// Valid only while `Dispatched` — the instruction joins its queue's
+    /// ready list the moment this reaches zero.
+    pub pending_ops: u8,
+    /// Head of this instruction's consumer wait-list (index into the
+    /// thread's waiter pool, [`crate::thread::NO_WAITER`] when empty).
+    /// Completion walks the list and wakes the registered consumers.
+    pub waiters_head: u32,
     /// Fetch-time branch misprediction (squash when the branch resolves).
     pub mispredicted: bool,
     /// The load missed the L1 data cache.
@@ -72,6 +81,8 @@ impl DynInst {
             dispatched_at: 0,
             ready_at: 0,
             deps,
+            pending_ops: 0,
+            waiters_head: crate::thread::NO_WAITER,
             mispredicted: false,
             l1_miss: false,
             l2_miss: false,

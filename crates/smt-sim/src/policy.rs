@@ -38,7 +38,11 @@ pub struct ThreadView {
 }
 
 /// Machine-wide state visible to policies each cycle.
-#[derive(Debug, Clone)]
+///
+/// The simulator owns long-lived `CycleView` buffers and refreshes them in
+/// place each cycle (no per-cycle allocation); policies only ever see a
+/// shared reference.
+#[derive(Debug, Clone, Default)]
 pub struct CycleView {
     /// Current cycle.
     pub now: u64,
@@ -83,9 +87,12 @@ pub trait Policy {
     /// Called once at the start of every cycle, before any stage runs.
     fn begin_cycle(&mut self, _view: &CycleView) {}
 
-    /// Returns the threads in fetch-priority order (best first). Threads
-    /// omitted from the result are not fetched this cycle.
-    fn fetch_order(&mut self, view: &CycleView) -> Vec<ThreadId>;
+    /// Appends the threads in fetch-priority order (best first) to
+    /// `order`. Threads omitted are not fetched this cycle.
+    ///
+    /// The buffer arrives cleared and is reused by the simulator across
+    /// cycles, so implementations stay allocation-free in steady state.
+    fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>);
 
     /// `true` if thread `t` may fetch this cycle. Called only for threads
     /// in the fetch order. This is the *response action* of stalling
@@ -154,11 +161,11 @@ impl Policy for RoundRobin {
         "RR"
     }
 
-    fn fetch_order(&mut self, view: &CycleView) -> Vec<ThreadId> {
+    fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>) {
         let n = view.thread_count();
         let start = self.start;
         self.start = (self.start + 1) % n.max(1);
-        (0..n).map(|i| ThreadId::new((start + i) % n)).collect()
+        order.extend((0..n).map(|i| ThreadId::new((start + i) % n)));
     }
 }
 
@@ -178,8 +185,10 @@ mod tests {
     fn round_robin_rotates() {
         let mut rr = RoundRobin::default();
         let v = view(3);
-        let a = rr.fetch_order(&v);
-        let b = rr.fetch_order(&v);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        rr.fetch_order(&v, &mut a);
+        rr.fetch_order(&v, &mut b);
         assert_eq!(a[0].index(), 0);
         assert_eq!(b[0].index(), 1);
         assert_eq!(a.len(), 3);

@@ -5,6 +5,19 @@ use smt_isa::DecodedInst;
 use smt_workloads::TraceGenerator;
 use std::collections::VecDeque;
 
+/// Sentinel for "no waiter node" in the per-thread wakeup pool.
+pub(crate) const NO_WAITER: u32 = u32::MAX;
+
+/// One node of a producer's consumer wait-list: a consumer instruction
+/// (identified by `seq` + `uid`, so squashed incarnations are recognised
+/// as stale) and the next node of the same producer's list.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Waiter {
+    pub seq: u64,
+    pub uid: u64,
+    pub next: u32,
+}
+
 /// State of one hardware context: its trace generator with a replay buffer
 /// (squashed instructions are re-fetched, and must decode identically), the
 /// in-flight instruction window and the thread's blocking conditions.
@@ -34,6 +47,10 @@ pub(crate) struct ThreadState {
     pub pre_issue: u32,
     pub l1d_pending: u32,
     pub l2_pending: u32,
+    /// Slab of wakeup wait-list nodes; freed nodes are recycled through
+    /// `free_waiter_head`, so steady-state wakeup is allocation-free.
+    waiter_pool: Vec<Waiter>,
+    free_waiter_head: u32,
 }
 
 impl ThreadState {
@@ -51,11 +68,69 @@ impl ThreadState {
             pre_issue: 0,
             l1d_pending: 0,
             l2_pending: 0,
+            waiter_pool: Vec::new(),
+            free_waiter_head: NO_WAITER,
+        }
+    }
+
+    // ------------------------------------------------------- wakeup waiters
+
+    /// Registers `(consumer_seq, consumer_uid)` on the wait-list of the
+    /// in-flight producer in window slot `producer_idx` (the dispatch loop
+    /// resolves the window base once per instruction). The producer's
+    /// completion (or squash) releases the node.
+    pub fn register_waiter_at(
+        &mut self,
+        producer_idx: usize,
+        consumer_seq: u64,
+        consumer_uid: u64,
+    ) {
+        let node = Waiter {
+            seq: consumer_seq,
+            uid: consumer_uid,
+            next: self.window[producer_idx].waiters_head,
+        };
+        let idx = if self.free_waiter_head != NO_WAITER {
+            let idx = self.free_waiter_head;
+            self.free_waiter_head = self.waiter_pool[idx as usize].next;
+            self.waiter_pool[idx as usize] = node;
+            idx
+        } else {
+            let idx = u32::try_from(self.waiter_pool.len()).expect("waiter pool overflow");
+            self.waiter_pool.push(node);
+            idx
+        };
+        self.window[producer_idx].waiters_head = idx;
+    }
+
+    /// Detaches and returns the wait-list head of the producer in window
+    /// slot `idx` (leaving the producer's list empty). Walk it with
+    /// [`Self::take_waiter`].
+    pub fn detach_waiters_at(&mut self, idx: usize) -> u32 {
+        std::mem::replace(&mut self.window[idx].waiters_head, NO_WAITER)
+    }
+
+    /// Consumes one node of a detached wait-list: recycles it into the
+    /// free list and returns `(waiter, next_node)`.
+    pub fn take_waiter(&mut self, node: u32) -> (Waiter, u32) {
+        let w = self.waiter_pool[node as usize];
+        self.waiter_pool[node as usize].next = self.free_waiter_head;
+        self.free_waiter_head = node;
+        (w, w.next)
+    }
+
+    /// Frees an entire detached wait-list (used when a producer is
+    /// squashed before completing).
+    pub fn free_waiters(&mut self, mut node: u32) {
+        while node != NO_WAITER {
+            let (_, next) = self.take_waiter(node);
+            node = next;
         }
     }
 
     /// The decoded instruction at `seq`, generating forward as needed.
     /// Re-fetching a squashed sequence number returns the identical record.
+    #[inline]
     pub fn inst_at(&mut self, seq: u64) -> DecodedInst {
         debug_assert!(seq >= self.buffer_base, "instruction already retired");
         while self.buffer_base + self.buffer.len() as u64 <= seq {
@@ -65,20 +140,35 @@ impl ThreadState {
         self.buffer[(seq - self.buffer_base) as usize]
     }
 
-    /// Drops replay entries up to and including `seq` (called at commit).
+    /// Drops replay entries up to and including `seq` (called at commit):
+    /// one bulk `drain` plus a `buffer_base` jump, not an entry-at-a-time
+    /// pop loop. Retiring past the buffered range (a gap) simply empties
+    /// the buffer.
     pub fn retire_buffer(&mut self, seq: u64) {
-        while self.buffer_base <= seq && !self.buffer.is_empty() {
-            self.buffer.pop_front();
-            self.buffer_base += 1;
+        if seq < self.buffer_base {
+            return;
         }
+        let n = usize::try_from(seq + 1 - self.buffer_base)
+            .unwrap_or(usize::MAX)
+            .min(self.buffer.len());
+        if n == 1 {
+            // In-order commit retires one entry at a time; skip the
+            // drain-iterator machinery on that hot path.
+            self.buffer.pop_front();
+        } else {
+            self.buffer.drain(..n);
+        }
+        self.buffer_base += n as u64;
     }
 
     /// Sequence number of the oldest in-flight instruction.
+    #[inline]
     pub fn window_base(&self) -> Option<u64> {
         self.window.front().map(|i| i.seq)
     }
 
     /// Looks up an in-flight instruction by sequence number.
+    #[inline]
     pub fn get(&self, seq: u64) -> Option<&DynInst> {
         let base = self.window_base()?;
         if seq < base {
@@ -88,6 +178,7 @@ impl ThreadState {
     }
 
     /// Mutable lookup by sequence number.
+    #[inline]
     pub fn get_mut(&mut self, seq: u64) -> Option<&mut DynInst> {
         let base = self.window_base()?;
         if seq < base {
@@ -97,6 +188,7 @@ impl ThreadState {
     }
 
     /// Number of instructions currently in the fetch queue (stage Fetched).
+    #[inline]
     pub fn fetch_queue_len(&self) -> usize {
         // Fetched instructions are always the window's tail.
         (self.next_fetch - self.next_dispatch) as usize
@@ -136,6 +228,61 @@ mod tests {
         assert_eq!(t.buffer.len(), 50);
         // Still replayable beyond the retired point.
         let _ = t.inst_at(75);
+    }
+
+    #[test]
+    fn retire_past_a_gap_empties_the_buffer() {
+        let mut t = thread();
+        let _ = t.inst_at(9); // buffer holds seqs 0..=9
+        assert_eq!(t.buffer.len(), 10);
+        // Retire far beyond the buffered range: everything buffered goes,
+        // and the base lands just past the last buffered entry (not at the
+        // retired seq), so the next fetch regenerates from there.
+        t.retire_buffer(1_000);
+        assert!(t.buffer.is_empty());
+        assert_eq!(t.buffer_base, 10);
+        // Retiring below the base is a no-op.
+        t.retire_buffer(3);
+        assert_eq!(t.buffer_base, 10);
+        // The stream continues identically after the jump.
+        let a = t.inst_at(10);
+        let b = t.inst_at(10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn waiter_pool_recycles_nodes() {
+        let mut t = thread();
+        for s in 0..3u64 {
+            let d = t.inst_at(s);
+            t.window
+                .push_back(crate::inst::DynInst::fetched(s, s + 1, d, 0, 0));
+        }
+        // Two consumers wait on producer 0, one on producer 1 (the window
+        // base is 0, so slots coincide with sequence numbers here).
+        t.register_waiter_at(0, 1, 2);
+        t.register_waiter_at(0, 2, 3);
+        t.register_waiter_at(1, 2, 3);
+        assert_eq!(t.waiter_pool.len(), 3);
+
+        // Walking producer 0's list yields its waiters (LIFO) and recycles.
+        let mut node = t.detach_waiters_at(0);
+        let mut seen = Vec::new();
+        while node != NO_WAITER {
+            let (w, next) = t.take_waiter(node);
+            seen.push(w.seq);
+            node = next;
+        }
+        assert_eq!(seen, vec![2, 1]);
+        assert_eq!(t.get(0).unwrap().waiters_head, NO_WAITER);
+
+        // New registrations reuse the freed slots instead of growing.
+        t.register_waiter_at(1, 2, 3);
+        t.register_waiter_at(1, 2, 3);
+        assert_eq!(t.waiter_pool.len(), 3);
+        let head = t.detach_waiters_at(1);
+        t.free_waiters(head);
+        assert_eq!(t.waiter_pool.len(), 3);
     }
 
     #[test]

@@ -17,8 +17,6 @@ struct BranchSite {
     pc: u64,
     target: u64,
     taken_prob: f64,
-    /// Biased sites are learnable by gshare; data-dependent sites are not.
-    biased: bool,
 }
 
 /// A deterministic, infinite instruction stream expanded from a
@@ -58,6 +56,15 @@ pub struct TraceGenerator {
     last_cold_load_seq: Option<u64>,
     call_depth: u32,
     sites: Vec<BranchSite>,
+    /// Number of leading entries of `sites` that are biased (loop) sites.
+    /// The split is fixed at construction, so site picking indexes the two
+    /// ranges directly instead of rebuilding index vectors per branch.
+    biased_count: usize,
+    /// `ln(1 - 1/dep_mean)` — the geometric sampler's denominator for
+    /// dependence distances, precomputed because it is drawn for almost
+    /// every instruction (`ln` twice per sample was a measurable share of
+    /// generation time). `NaN` when `dep_mean <= 1`.
+    dep_ln_one_minus_p: f64,
     /// Cumulative mix thresholds for sampling instruction classes.
     mix_cdf: [(f64, InstClass); 8],
 }
@@ -109,11 +116,11 @@ impl TraceGenerator {
                     let pc = code_base + (i as u64 * 97 % (hot_code / 4)) * 4;
                     let body = rng.gen_range(16..256) * 4;
                     let target = pc.saturating_sub(body).max(code_base);
+                    // Biased (loop) site: learnable by gshare.
                     BranchSite {
                         pc,
                         target,
                         taken_prob: 0.985,
-                        biased: true,
                     }
                 } else {
                     let pc = code_base + (i as u64 * 193 % (code_bytes / 4)) * 4;
@@ -124,11 +131,11 @@ impl TraceGenerator {
                     } else {
                         code_base + rng.gen_range(0..hot_code / 4) * 4
                     };
+                    // Data-dependent site: effectively random direction.
                     BranchSite {
                         pc,
                         target,
                         taken_prob: profile.branches.random_taken_rate,
-                        biased: false,
                     }
                 }
             })
@@ -172,6 +179,8 @@ impl TraceGenerator {
             last_cold_load_seq: None,
             call_depth: 0,
             sites,
+            biased_count: biased_sites.min(n_sites),
+            dep_ln_one_minus_p: ln_one_minus_inv(profile.dep_mean),
             mix_cdf,
         };
         this.advance_phase();
@@ -228,7 +237,12 @@ impl TraceGenerator {
     }
 
     fn dep_distance(&mut self) -> u32 {
-        sample_geometric(&mut self.rng, self.profile.dep_mean).clamp(1, 512) as u32
+        sample_geometric_with(
+            &mut self.rng,
+            self.profile.dep_mean,
+            self.dep_ln_one_minus_p,
+        )
+        .clamp(1, 512) as u32
     }
 
     /// Samples a data address from the nested-working-set model. Returns
@@ -388,17 +402,21 @@ impl TraceGenerator {
 
     fn pick_site(&mut self) -> BranchSite {
         // Biased sites are hot (loop branches execute often): weight them
-        // by the profile's biased fraction of *dynamic* branches.
-        let biased: Vec<usize> = (0..self.sites.len())
-            .filter(|&i| self.sites[i].biased)
-            .collect();
-        let random: Vec<usize> = (0..self.sites.len())
-            .filter(|&i| !self.sites[i].biased)
-            .collect();
-        let use_biased = !biased.is_empty()
-            && (random.is_empty() || self.rng.gen_bool(self.profile.branches.biased_frac));
-        let pool = if use_biased { &biased } else { &random };
-        let idx = pool[self.rng.gen_range(0..pool.len())];
+        // by the profile's biased fraction of *dynamic* branches. Biased
+        // sites occupy `..biased_count`, the data-dependent ones the rest;
+        // the ranges are fixed, so this draws the same random sequence the
+        // old index-vector implementation did without rebuilding (and
+        // heap-allocating) those vectors on every branch.
+        let biased_len = self.biased_count;
+        let random_len = self.sites.len() - biased_len;
+        let use_biased = biased_len > 0
+            && (random_len == 0 || self.rng.gen_bool(self.profile.branches.biased_frac));
+        let (first, len) = if use_biased {
+            (0, biased_len)
+        } else {
+            (biased_len, random_len)
+        };
+        let idx = first + self.rng.gen_range(0..len);
         self.sites[idx]
     }
 
@@ -418,14 +436,27 @@ impl TraceGenerator {
     }
 }
 
+/// `ln(1 - 1/mean)`, the denominator of the geometric sampler (`NaN` for
+/// `mean <= 1`, where the sampler short-circuits before using it).
+fn ln_one_minus_inv(mean: f64) -> f64 {
+    let p = 1.0 / mean;
+    (1.0 - p).ln()
+}
+
 /// Samples a geometric-like positive integer with the given mean.
 fn sample_geometric(rng: &mut SmallRng, mean: f64) -> u64 {
+    sample_geometric_with(rng, mean, ln_one_minus_inv(mean))
+}
+
+/// [`sample_geometric`] with the `ln(1 - 1/mean)` denominator precomputed
+/// by the caller — bit-identical to recomputing it (same expression, same
+/// division), minus one `ln` per sample on the per-instruction hot path.
+fn sample_geometric_with(rng: &mut SmallRng, mean: f64, ln_one_minus_p: f64) -> u64 {
     if mean <= 1.0 {
         return 1;
     }
-    let p = 1.0 / mean;
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-    (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
+    (u.ln() / ln_one_minus_p).ceil().max(1.0) as u64
 }
 
 #[cfg(test)]

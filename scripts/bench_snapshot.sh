@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Records simulator throughput (simulated cycles per second, per policy)
+# into BENCH_core.json at the repo root, so the perf trajectory of the
+# simulator core is measured PR over PR.
+#
+# Usage:
+#   scripts/bench_snapshot.sh [label]          # full measurement (default label: current)
+#   SMOKE=1 scripts/bench_snapshot.sh [label]  # quick CI smoke run (does not overwrite
+#                                              # BENCH_core.json; writes a temp file)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-current}"
+ARGS=(--label "$LABEL")
+OUT="BENCH_core.json"
+if [[ "${SMOKE:-0}" != 0 ]]; then
+    OUT="$(mktemp)"
+    trap 'rm -f "$OUT"' EXIT
+    ARGS+=(--smoke)
+fi
+ARGS+=(--out "$OUT")
+
+cargo run --release -p smt-experiments --bin bench_snapshot -- "${ARGS[@]}"
+echo
+cat "$OUT"

@@ -1,0 +1,136 @@
+//! Offline stand-in for the `fxhash` crate.
+//!
+//! The simulator's hot maps (MSHR line lookups, PDG's in-flight load
+//! multiset) are keyed by small integers; `std`'s default SipHash spends
+//! more time hashing than the map spends probing. This crate provides the
+//! FxHash function used by the Firefox and rustc codebases — one wrapping
+//! multiply and one rotate per word — which is not DoS-resistant but is
+//! several times faster on integer keys. Only deterministic simulator
+//! state goes through these maps, so hash-flooding resistance buys
+//! nothing here.
+//!
+//! API subset of the real `fxhash` crate: [`FxHasher`],
+//! [`FxBuildHasher`], [`FxHashMap`], [`FxHashSet`], and [`hash64`].
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the golden ratio (same as rustc's FxHash).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx multiply-rotate hasher.
+///
+/// # Examples
+///
+/// ```ignore
+/// use fxhash::FxHashMap;
+/// let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+/// m.insert(42, "line");
+/// assert_eq!(m.get(&42), Some(&"line"));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes one hashable value to 64 bits.
+pub fn hash64<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_spread() {
+        assert_eq!(hash64(&42u64), hash64(&42u64));
+        assert_ne!(hash64(&1u64), hash64(&2u64));
+        // Sequential keys must not collapse into few buckets.
+        let hashes: FxHashSet<u64> = (0u64..1024).map(|i| hash64(&i)).collect();
+        assert_eq!(hashes.len(), 1024);
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i, (i * 7) as u32);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&13), Some(&91));
+        m.remove(&13);
+        assert_eq!(m.get(&13), None);
+    }
+
+    #[test]
+    fn byte_streams_hash_consistently() {
+        assert_eq!(hash64("abcdefghij"), hash64("abcdefghij"));
+        assert_ne!(hash64("abcdefghij"), hash64("abcdefghik"));
+    }
+}
