@@ -5,7 +5,7 @@
 use bench::prepared_sim;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use dcra::Dcra;
-use smt_policies::by_name;
+use smt_experiments::PolicyKind;
 
 fn bench_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator_cycles");
@@ -16,11 +16,7 @@ fn bench_policies(c: &mut Criterion) {
         g.bench_function(format!("mix2/{name}"), |b| {
             b.iter_batched(
                 || {
-                    let policy: Box<dyn smt_sim::policy::Policy> = if name == "DCRA" {
-                        Box::new(Dcra::default())
-                    } else {
-                        by_name(name).expect("known policy")
-                    };
+                    let policy = PolicyKind::from_name(name).expect("known policy").build();
                     prepared_sim(&["gzip", "mcf"], policy)
                 },
                 |mut sim| {
@@ -46,11 +42,7 @@ fn bench_mix4_100k(c: &mut Criterion) {
         g.bench_function(format!("mix4_100k/{name}"), |b| {
             b.iter_batched(
                 || {
-                    let policy: Box<dyn smt_sim::policy::Policy> = if name == "DCRA" {
-                        Box::new(Dcra::default())
-                    } else {
-                        by_name(name).expect("known policy")
-                    };
+                    let policy = PolicyKind::from_name(name).expect("known policy").build();
                     prepared_sim(&["art", "gcc", "twolf", "swim"], policy)
                 },
                 |mut sim| {
@@ -74,7 +66,7 @@ fn bench_thread_scaling(c: &mut Criterion) {
     ] {
         g.bench_function(label, |b| {
             b.iter_batched(
-                || prepared_sim(&benches, Box::new(Dcra::default())),
+                || prepared_sim(&benches, Dcra::default()),
                 |mut sim| {
                     sim.run_cycles(2_000);
                     sim

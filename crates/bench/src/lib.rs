@@ -1,11 +1,12 @@
 //! Benchmark-only crate: see the `benches/` directory. The library part
 //! exposes small helpers shared by the bench targets.
 
-/// Builds a simulator over the given benchmarks with the named policy,
-/// functionally prewarmed and settled, ready for timed stepping.
+/// Builds a simulator over the given benchmarks with the given policy
+/// (statically dispatched unless handed a boxed one), functionally
+/// prewarmed and settled, ready for timed stepping.
 pub fn prepared_sim(
     benches: &[&str],
-    policy: Box<dyn smt_sim::policy::Policy>,
+    policy: impl Into<smt_sim::policy::AnyPolicy>,
 ) -> smt_sim::Simulator {
     let profiles: Vec<_> = benches
         .iter()

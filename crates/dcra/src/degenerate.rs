@@ -19,7 +19,7 @@ use crate::classify::{ActivityTracker, ThreadPhase};
 use crate::policy::DcraConfig;
 use crate::sharing::{slow_share, SharingFactor};
 use smt_isa::{PerResource, QueueKind, RegClass, ResourceKind, ThreadId};
-use smt_sim::policy::{CycleView, Policy};
+use smt_policy_core::{CycleView, Policy};
 
 /// Configuration of the degenerate-case detector.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,7 +50,7 @@ impl Default for DegenerateConfig {
 ///
 /// ```
 /// use dcra::DcraDc;
-/// use smt_sim::policy::Policy;
+/// use smt_policy_core::Policy;
 ///
 /// assert_eq!(DcraDc::default().name(), "DCRA-DC");
 /// ```
@@ -218,7 +218,7 @@ impl Policy for DcraDc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smt_sim::policy::ThreadView;
+    use smt_policy_core::ThreadView;
 
     fn view(now: u64, specs: &[(u32, u64)]) -> CycleView {
         // (l1d_pending, committed)

@@ -31,7 +31,7 @@
 //!
 //! let profiles = [spec::profile("gzip").unwrap(), spec::profile("mcf").unwrap()];
 //! let mut sim = Simulator::new(SimConfig::baseline(2), &profiles,
-//!                              Box::new(Dcra::default()), 1);
+//!                              Dcra::default(), 1);
 //! sim.run_cycles(10_000);
 //! assert_eq!(sim.policy_name(), "DCRA");
 //! ```

@@ -4,7 +4,7 @@ use crate::classify::{ActivityTracker, ThreadPhase};
 use crate::sharing::{slow_share, SharingConfig};
 use serde::{Deserialize, Serialize};
 use smt_isa::{PerResource, QueueKind, RegClass, ResourceKind, ThreadId};
-use smt_sim::policy::{CycleView, Policy};
+use smt_policy_core::{CycleView, Policy};
 
 /// Configuration of the DCRA policy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -181,7 +181,7 @@ impl Policy for Dcra {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smt_sim::policy::ThreadView;
+    use smt_policy_core::ThreadView;
 
     /// One thread's test fixture: (icount, l1d_pending, usage overrides).
     type ThreadSpec<'a> = (u32, u32, &'a [(ResourceKind, u32)]);

@@ -13,7 +13,7 @@ use crate::classify::{ActivityTracker, ThreadPhase};
 use crate::policy::DcraConfig;
 use crate::sharing::{slow_share, SharingFactor};
 use smt_isa::{PerResource, QueueKind, RegClass, ResourceKind, ThreadId};
-use smt_sim::policy::{CycleView, Policy};
+use smt_policy_core::{CycleView, Policy};
 
 /// A pre-computed allocation table for one resource: `E_slow` indexed by
 /// `(FA, SA)` with `SA ≥ 1` and `FA + SA ≤ threads`.
@@ -225,7 +225,7 @@ impl Policy for TableDcra {
 mod tests {
     use super::*;
     use crate::Dcra;
-    use smt_sim::policy::ThreadView;
+    use smt_policy_core::ThreadView;
 
     #[test]
     fn rom_matches_paper_table1() {

@@ -10,7 +10,7 @@ fn sim_with(benches: &[&str], config: DcraConfig, seed: u64) -> Simulator {
     let mut sim = Simulator::new(
         SimConfig::baseline(benches.len()),
         &profiles,
-        Box::new(Dcra::new(config)),
+        Dcra::new(config),
         seed,
     );
     sim.prewarm(150_000);
@@ -87,12 +87,7 @@ fn dcra_preserves_throughput_on_pure_ilp() {
         spec::profile("gzip").unwrap(),
         spec::profile("bzip2").unwrap(),
     ];
-    let mut base = Simulator::new(
-        SimConfig::baseline(2),
-        &profiles,
-        Box::new(smt_policies::Icount),
-        9,
-    );
+    let mut base = Simulator::new(SimConfig::baseline(2), &profiles, smt_policies::Icount, 9);
     base.prewarm(150_000);
     base.run_cycles(10_000);
     base.reset_stats();
@@ -115,12 +110,7 @@ fn activity_donation_helps_fp_slow_threads() {
         spec::profile("gzip").unwrap(),
     ];
     let mut policy = Dcra::default();
-    let mut sim = Simulator::new(
-        SimConfig::baseline(2),
-        &profiles,
-        Box::new(policy.clone()),
-        5,
-    );
+    let mut sim = Simulator::new(SimConfig::baseline(2), &profiles, policy.clone(), 5);
     sim.prewarm(100_000);
     sim.run_cycles(40_000);
     // Reconstruct the classification offline: gzip emits no FP work, so

@@ -69,6 +69,14 @@ impl BranchTargetBuffer {
         (pc >> 2) / self.sets as u64
     }
 
+    /// Invalidates every entry and zeroes the LRU clock, keeping the
+    /// allocations. Bit-identical to a freshly built BTB.
+    pub fn reset_cold(&mut self) {
+        self.entries.fill(None);
+        self.lru.fill(0);
+        self.tick = 0;
+    }
+
     /// Looks up the predicted target for the branch at `pc`.
     pub fn lookup(&mut self, pc: u64) -> Option<u64> {
         let set = self.set_of(pc);

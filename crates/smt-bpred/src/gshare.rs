@@ -70,6 +70,13 @@ impl Gshare {
         self.counters[self.index(t, pc)] >= 2
     }
 
+    /// Returns the predictor to its power-on state: all counters weakly
+    /// not-taken, all histories cleared. Bit-identical to a fresh table.
+    pub fn reset_cold(&mut self) {
+        self.counters.fill(1);
+        self.history.fill(0);
+    }
+
     /// Trains the counter and shifts the outcome into the thread's history.
     #[inline]
     pub fn update(&mut self, t: ThreadId, pc: u64, taken: bool) {

@@ -38,7 +38,7 @@ use smt_isa::{BranchInfo, BranchKind, ThreadId};
 ///
 /// Defaults match the paper's baseline (Table 2): 16K-entry gshare,
 /// 256-entry 4-way BTB, 256-entry RAS.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PredictorConfig {
     /// Number of 2-bit counters in the gshare pattern history table.
     pub gshare_entries: usize,
@@ -214,6 +214,20 @@ impl BranchPredictor {
     /// Clears accumulated statistics (predictor state is kept). Used when a
     /// measurement window starts after warm-up.
     pub fn reset_stats(&mut self) {
+        self.stats = PredictorStats::default();
+    }
+
+    /// Returns the whole front end to its power-on state — untrained
+    /// gshare, empty BTB and RAS, zeroed statistics — retaining every
+    /// allocation. Bit-identical to a freshly constructed predictor;
+    /// simulation sessions rely on this to reuse one predictor across
+    /// many runs.
+    pub fn reset_cold(&mut self) {
+        self.gshare.reset_cold();
+        self.btb.reset_cold();
+        for ras in &mut self.ras {
+            ras.clear();
+        }
         self.stats = PredictorStats::default();
     }
 }

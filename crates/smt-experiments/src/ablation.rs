@@ -14,7 +14,7 @@ use crate::runner::{PolicyKind, RunSpec, Runner};
 use crate::tables::{f3, TextTable};
 use dcra::{DcraConfig, DcraDc, DegenerateConfig, SharingConfig, SharingFactor};
 use smt_metrics::hmean;
-use smt_sim::policy::Policy;
+use smt_sim::policy::AnyPolicy;
 use smt_sim::Simulator;
 use smt_workloads::{spec, workloads_of, Workload, WorkloadType};
 
@@ -30,8 +30,10 @@ pub fn ablation_workloads() -> Vec<Workload> {
 pub struct Variant {
     /// Human-readable label.
     pub label: String,
-    /// Policy factory (a fresh policy per run).
-    pub build: Box<dyn Fn() -> Box<dyn Policy> + Sync>,
+    /// Policy factory (a fresh policy per run). DCRA variants dispatch
+    /// statically; the experimental policies (DCRA-DC, the table-driven
+    /// ROM) ride the [`AnyPolicy::Boxed`] escape hatch.
+    pub build: Box<dyn Fn() -> AnyPolicy + Sync>,
 }
 
 /// The full variant list.
@@ -42,7 +44,7 @@ pub fn variants() -> Vec<Variant> {
         v.push(Variant {
             label: format!("activity init {init}"),
             build: Box::new(move || {
-                Box::new(dcra::Dcra::new(DcraConfig {
+                AnyPolicy::from(dcra::Dcra::new(DcraConfig {
                     activity_init: init,
                     ..DcraConfig::default()
                 }))
@@ -58,7 +60,7 @@ pub fn variants() -> Vec<Variant> {
         v.push(Variant {
             label: format!("sharing {label}"),
             build: Box::new(move || {
-                Box::new(dcra::Dcra::new(DcraConfig {
+                AnyPolicy::from(dcra::Dcra::new(DcraConfig {
                     sharing: SharingConfig {
                         queue_factor: f,
                         reg_factor: f,
@@ -72,16 +74,16 @@ pub fn variants() -> Vec<Variant> {
     v.push(Variant {
         label: "DCRA-DC (degenerate detection)".to_string(),
         build: Box::new(|| {
-            Box::new(DcraDc::new(
+            AnyPolicy::Boxed(Box::new(DcraDc::new(
                 DcraConfig::default(),
                 DegenerateConfig::default(),
-            ))
+            )))
         }),
     });
     // Table-driven implementation (must match the combinational one).
     v.push(Variant {
         label: "table-driven ROM".to_string(),
-        build: Box::new(|| Box::new(dcra::TableDcra::default())),
+        build: Box::new(|| AnyPolicy::Boxed(Box::new(dcra::TableDcra::default()))),
     });
     v
 }

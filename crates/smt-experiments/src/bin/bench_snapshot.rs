@@ -13,9 +13,18 @@
 //! `--smoke` shrinks the measured run for CI smoke coverage; `--out`
 //! defaults to `BENCH_core.json` in the current directory. The file keeps
 //! one snapshot per line inside a `"snapshots"` array, so successive runs
-//! append without a JSON parser.
+//! append without a JSON parser. `--check PATH` validates that a file is
+//! well-formed JSON and exits (used by `scripts/bench_snapshot.sh` to
+//! refuse to append to a corrupt trajectory file), and every normal run
+//! performs the same validation on an existing `--out` before rewriting
+//! it.
+//!
+//! Besides per-policy simulated-cycles/sec, each snapshot records the
+//! sweep setup cost: how many short same-configuration runs per second a
+//! reused [`SimSession`] sustains versus building a fresh simulator per
+//! run.
 
-use smt_experiments::PolicyKind;
+use smt_experiments::{PolicyKind, RunSpec, SimSession};
 use smt_sim::{SimConfig, Simulator};
 use smt_workloads::spec;
 use std::time::Instant;
@@ -63,6 +72,183 @@ fn measure(policy: &PolicyKind, cycles: u64, reps: usize) -> f64 {
     rates[rates.len() / 2]
 }
 
+/// Measures sweep setup cost: `runs`-run queues of *very short*
+/// same-config simulations (so per-run setup dominates, which is the
+/// quantity of interest), once through a reused [`SimSession`] and once
+/// through a fresh session (= fresh `Simulator`) per run. Both modes are
+/// sampled three times and the best rate kept, the usual guard against
+/// one-off scheduler noise. Returns `(session_runs_per_sec,
+/// fresh_runs_per_sec)`.
+fn measure_sweep_setup(runs: usize) -> (f64, f64) {
+    let specs: Vec<RunSpec> = (0..runs)
+        .map(|i| {
+            let names = [
+                "RR", "ICOUNT", "STALL", "FLUSH", "FLUSH++", "DG", "PDG", "SRA", "DCRA",
+            ];
+            let mut s = RunSpec::new(
+                &["art", "gcc", "twolf", "swim"],
+                PolicyKind::from_name(names[i % names.len()]).expect("canonical policy"),
+            );
+            s.seed = 42 + i as u64;
+            s.prewarm_insts = 1_000;
+            s.warmup_cycles = 100;
+            s.measure_cycles = 500;
+            s
+        })
+        .collect();
+
+    let mut session_rate = 0.0f64;
+    let mut fresh_rate = 0.0f64;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let mut session = SimSession::new();
+        for spec in &specs {
+            let _ = session.run(spec);
+        }
+        session_rate = session_rate.max(specs.len() as f64 / t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        for spec in &specs {
+            let _ = SimSession::new().run(spec);
+        }
+        fresh_rate = fresh_rate.max(specs.len() as f64 / t0.elapsed().as_secs_f64());
+    }
+    (session_rate, fresh_rate)
+}
+
+/// Minimal strict JSON well-formedness check (the build has no JSON crate;
+/// the trajectory file is precious, so appending to a corrupt one must
+/// fail loudly rather than silently salvage lines).
+fn validate_json(text: &str) -> Result<(), String> {
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+    impl P<'_> {
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.i).copied()
+        }
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected `{}` at byte {}", c as char, self.i))
+            }
+        }
+        fn value(&mut self) -> Result<(), String> {
+            self.ws();
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => self.string(),
+                Some(b't') => self.lit("true"),
+                Some(b'f') => self.lit("false"),
+                Some(b'n') => self.lit("null"),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(format!("unexpected byte {}", self.i)),
+            }
+        }
+        fn lit(&mut self, word: &str) -> Result<(), String> {
+            if self.b[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at byte {}", self.i))
+            }
+        }
+        fn number(&mut self) -> Result<(), String> {
+            let start = self.i;
+            if self.peek() == Some(b'-') {
+                self.i += 1;
+            }
+            while self
+                .peek()
+                .is_some_and(|c| c.is_ascii_digit() || b".eE+-".contains(&c))
+            {
+                self.i += 1;
+            }
+            if self.i == start {
+                return Err(format!("empty number at byte {start}"));
+            }
+            Ok(())
+        }
+        fn string(&mut self) -> Result<(), String> {
+            self.eat(b'"')?;
+            while let Some(c) = self.peek() {
+                self.i += 1;
+                match c {
+                    b'"' => return Ok(()),
+                    b'\\' => {
+                        self.i += 1; // skip the escaped byte
+                    }
+                    _ => {}
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+        fn array(&mut self) -> Result<(), String> {
+            self.eat(b'[')?;
+            self.ws();
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.value()?;
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("bad array at byte {}", self.i)),
+                }
+            }
+        }
+        fn object(&mut self) -> Result<(), String> {
+            self.eat(b'{')?;
+            self.ws();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.ws();
+                self.string()?;
+                self.ws();
+                self.eat(b':')?;
+                self.value()?;
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("bad object at byte {}", self.i)),
+                }
+            }
+        }
+    }
+    let mut p = P {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(())
+}
+
 /// Existing snapshot lines of `path` (one JSON object per line, as written
 /// by this tool). Unknown or absent files yield no lines.
 fn existing_snapshots(path: &str) -> Vec<String> {
@@ -85,8 +271,28 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+    if let Some(path) = flag("--check") {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("--check: cannot read {path}: {e}"));
+        if let Err(e) = validate_json(&text) {
+            eprintln!("{path} is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+        println!("{path}: valid JSON");
+        return;
+    }
     let label = flag("--label").unwrap_or_else(|| "current".to_string());
     let out = flag("--out").unwrap_or_else(|| "BENCH_core.json".to_string());
+    // Refuse to rewrite a trajectory file that is no longer valid JSON —
+    // appending to it would bake the corruption in.
+    if let Ok(existing) = std::fs::read_to_string(&out) {
+        if !existing.trim().is_empty() {
+            if let Err(e) = validate_json(&existing) {
+                eprintln!("refusing to append: {out} is not valid JSON ({e})");
+                std::process::exit(1);
+            }
+        }
+    }
     let (cycles, reps) = if smoke { (5_000, 1) } else { (100_000, 3) };
 
     let mut fields = Vec::new();
@@ -99,10 +305,18 @@ fn main() {
     }
     let mean = sum / fields.len() as f64;
     eprintln!("{:>8}: {:>12.0} cycles/s", "mean", mean);
+    let (session_rate, fresh_rate) = measure_sweep_setup(if smoke { 9 } else { 27 });
+    eprintln!(
+        "{:>8}: {session_rate:>12.1} runs/s reused session, {fresh_rate:.1} fresh",
+        "sweep"
+    );
 
     let snapshot = format!(
         "{{ \"label\": \"{label}\", \"smoke\": {smoke}, \"measured_cycles\": {cycles}, \
-         \"mean_cycles_per_sec\": {mean:.0}, \"cycles_per_sec\": {{ {} }} }}",
+         \"mean_cycles_per_sec\": {mean:.0}, \
+         \"sweep_session_runs_per_sec\": {session_rate:.1}, \
+         \"sweep_fresh_runs_per_sec\": {fresh_rate:.1}, \
+         \"cycles_per_sec\": {{ {} }} }}",
         fields.join(", ")
     );
     let mut lines = existing_snapshots(&out);

@@ -38,4 +38,4 @@ pub mod table3;
 pub mod table5;
 pub mod tables;
 
-pub use runner::{PolicyKind, RunOutcome, RunSpec, Runner};
+pub use runner::{PolicyKind, RunOutcome, RunSpec, Runner, SimSession};

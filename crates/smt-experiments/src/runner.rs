@@ -1,19 +1,19 @@
 //! Simulation runner: builds simulators from declarative specs, runs them
-//! (in parallel across OS threads) and caches single-thread baselines for
-//! the Hmean metric.
+//! (in parallel across OS threads, each worker owning one reusable
+//! [`SimSession`]) and caches single-thread baselines for the Hmean metric.
 
 use dcra::{Dcra, DcraConfig, SharingConfig};
 use smt_isa::{PerResource, ThreadId};
 use smt_policies as pol;
-use smt_sim::policy::Policy;
+use smt_sim::policy::AnyPolicy;
 use smt_sim::{SimConfig, SimResult, Simulator};
-use smt_workloads::{spec, Workload};
+use smt_workloads::{spec, BenchmarkProfile, Workload};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Which policy to run. A declarative, `Clone`able stand-in for
-/// `Box<dyn Policy>` so run specs can be sent across threads.
+/// Which policy to run. A declarative, `Clone`able stand-in for a built
+/// policy so run specs can be sent across threads.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PolicyKind {
     /// ROUND-ROBIN fetch.
@@ -57,14 +57,15 @@ impl PolicyKind {
     /// The inverse of [`PolicyKind::name`] for the nine canonical
     /// policies (case-insensitive). `DCRA` maps to the default
     /// configuration; the capped-SRA and tuned-DCRA variants have no
-    /// name of their own.
+    /// name of their own. Shell-friendly spellings of `FLUSH++`
+    /// (`FLUSHPP`, `FLUSH_PP`) are accepted too.
     pub fn from_name(name: &str) -> Option<Self> {
         Some(match name.to_ascii_uppercase().as_str() {
             "RR" => PolicyKind::RoundRobin,
             "ICOUNT" => PolicyKind::Icount,
             "STALL" => PolicyKind::Stall,
             "FLUSH" => PolicyKind::Flush,
-            "FLUSH++" => PolicyKind::FlushPlusPlus,
+            "FLUSH++" | "FLUSHPP" | "FLUSH_PP" => PolicyKind::FlushPlusPlus,
             "DG" => PolicyKind::DataGating,
             "PDG" => PolicyKind::PredictiveDataGating,
             "SRA" => PolicyKind::Sra,
@@ -81,19 +82,21 @@ impl PolicyKind {
         })
     }
 
-    /// Instantiates the policy.
-    pub fn build(&self) -> Box<dyn Policy> {
+    /// Instantiates the policy. All nine canonical policies come back as
+    /// statically-dispatched [`AnyPolicy`] variants; only external policies
+    /// (none here) would need the boxed escape hatch.
+    pub fn build(&self) -> AnyPolicy {
         match self {
-            PolicyKind::RoundRobin => Box::new(smt_sim::policy::RoundRobin::default()),
-            PolicyKind::Icount => Box::new(pol::Icount),
-            PolicyKind::Stall => Box::new(pol::Stall),
-            PolicyKind::Flush => Box::new(pol::Flush),
-            PolicyKind::FlushPlusPlus => Box::new(pol::FlushPlusPlus::default()),
-            PolicyKind::DataGating => Box::new(pol::DataGating),
-            PolicyKind::PredictiveDataGating => Box::new(pol::PredictiveDataGating::default()),
-            PolicyKind::Sra => Box::new(pol::StaticAllocation::new()),
-            PolicyKind::SraCapped(caps) => Box::new(pol::StaticAllocation::with_caps(*caps)),
-            PolicyKind::Dcra(cfg) => Box::new(Dcra::new(*cfg)),
+            PolicyKind::RoundRobin => smt_sim::policy::RoundRobin::default().into(),
+            PolicyKind::Icount => pol::Icount.into(),
+            PolicyKind::Stall => pol::Stall.into(),
+            PolicyKind::Flush => pol::Flush.into(),
+            PolicyKind::FlushPlusPlus => pol::FlushPlusPlus::default().into(),
+            PolicyKind::DataGating => pol::DataGating.into(),
+            PolicyKind::PredictiveDataGating => pol::PredictiveDataGating::default().into(),
+            PolicyKind::Sra => pol::StaticAllocation::new().into(),
+            PolicyKind::SraCapped(caps) => pol::StaticAllocation::with_caps(*caps).into(),
+            PolicyKind::Dcra(cfg) => Dcra::new(*cfg).into(),
         }
     }
 }
@@ -146,6 +149,13 @@ impl RunSpec {
         self.config = config;
         self
     }
+
+    fn profiles(&self) -> Vec<&'static BenchmarkProfile> {
+        self.benches
+            .iter()
+            .map(|b| spec::profile(b).unwrap_or_else(|| panic!("unknown benchmark {b}")))
+            .collect()
+    }
 }
 
 /// Result of a run, with the memory statistics snapshot the experiments
@@ -170,6 +180,89 @@ impl RunOutcome {
     }
 }
 
+/// A reusable simulation session: owns one [`Simulator`] and replays run
+/// specs through it.
+///
+/// A sweep issues hundreds of short runs; building a fresh simulator for
+/// each one reallocates the instruction windows, cache tag arrays, event
+/// wheel and predictor tables every time. A session instead calls
+/// [`Simulator::reset`] whenever the next spec shares the previous spec's
+/// machine configuration — trace generators and policy are re-seeded in
+/// place, every allocation is retained, and the run is bit-identical to a
+/// fresh simulator (guaranteed by the `reset` contract and pinned by the
+/// session-equality test in `tests/determinism.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use smt_experiments::{PolicyKind, RunSpec, SimSession};
+///
+/// let mut session = SimSession::new();
+/// let mut spec = RunSpec::new(&["gzip"], PolicyKind::Icount);
+/// spec.prewarm_insts = 10_000;
+/// spec.warmup_cycles = 1_000;
+/// spec.measure_cycles = 5_000;
+/// let first = session.run(&spec);   // builds the simulator
+/// let second = session.run(&spec);  // reuses it in place
+/// assert_eq!(first.result, second.result);
+/// ```
+#[derive(Debug, Default)]
+pub struct SimSession {
+    sim: Option<Simulator>,
+}
+
+impl SimSession {
+    /// Creates an empty session; the first run builds its simulator.
+    pub fn new() -> Self {
+        SimSession::default()
+    }
+
+    /// Runs one spec to completion, reusing the owned simulator when the
+    /// machine configuration matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a benchmark name is unknown.
+    pub fn run(&mut self, spec: &RunSpec) -> RunOutcome {
+        let profiles = spec.profiles();
+        let sim = match &mut self.sim {
+            Some(sim) if sim.config() == &spec.config => {
+                sim.reset(&profiles, spec.policy.build(), spec.seed);
+                sim
+            }
+            slot => slot.insert(Simulator::new(
+                spec.config.clone(),
+                &profiles,
+                spec.policy.build(),
+                spec.seed,
+            )),
+        };
+        sim.prewarm(spec.prewarm_insts);
+        sim.run_cycles(spec.warmup_cycles);
+        sim.reset_stats();
+        sim.run_cycles(spec.measure_cycles);
+        let mem = (0..spec.benches.len())
+            .map(|i| sim.memory().thread_stats(ThreadId::new(i)))
+            .collect();
+        RunOutcome {
+            result: sim.result(),
+            mem,
+        }
+    }
+}
+
+/// Cache key for single-thread baseline IPCs: the benchmark plus the
+/// *complete* machine configuration it ran on (normalised to one thread,
+/// which is how baselines are measured). Deriving the key from the full
+/// [`SimConfig`] means configs differing in ROB size, cache geometry or any
+/// other field can never collide — the old string key hashed only four
+/// fields and silently returned wrong baselines for the rest.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct BaselineKey {
+    bench: String,
+    config: SimConfig,
+}
+
 /// Executes run specs and caches single-thread baseline IPCs.
 ///
 /// # Examples
@@ -187,7 +280,7 @@ impl RunOutcome {
 /// ```
 #[derive(Debug, Default)]
 pub struct Runner {
-    baselines: Mutex<HashMap<String, f64>>,
+    baselines: Mutex<HashMap<BaselineKey, f64>>,
 }
 
 impl Runner {
@@ -196,86 +289,80 @@ impl Runner {
         Runner::default()
     }
 
-    /// Runs one spec to completion.
+    /// Runs one spec to completion in a one-shot session.
     ///
     /// # Panics
     ///
     /// Panics if a benchmark name is unknown.
     pub fn run(&self, spec: &RunSpec) -> RunOutcome {
-        let profiles: Vec<_> = spec
-            .benches
-            .iter()
-            .map(|b| spec::profile(b).unwrap_or_else(|| panic!("unknown benchmark {b}")))
-            .collect();
-        let mut sim = Simulator::new(
-            spec.config.clone(),
-            &profiles,
-            spec.policy.build(),
-            spec.seed,
-        );
-        sim.prewarm(spec.prewarm_insts);
-        sim.run_cycles(spec.warmup_cycles);
-        sim.reset_stats();
-        sim.run_cycles(spec.measure_cycles);
-        let mem = (0..spec.benches.len())
-            .map(|i| sim.memory().thread_stats(ThreadId::new(i)))
-            .collect();
-        RunOutcome {
-            result: sim.result(),
-            mem,
-        }
+        SimSession::new().run(spec)
     }
 
-    /// Runs many specs in parallel on a pool of worker threads fed from a
-    /// shared work queue (an atomic next-spec index). Unlike chunked
-    /// spawn-join, a straggling simulation never barriers the rest of its
-    /// chunk: every finished worker immediately claims the next spec.
-    /// Results are in spec order and identical to sequential runs (each
-    /// simulation is seeded and self-contained).
-    pub fn run_all(&self, specs: &[RunSpec]) -> Vec<RunOutcome> {
+    /// Runs many specs on a pool of worker threads fed from a shared work
+    /// queue, streaming each [`RunOutcome`] into `sink` as it completes.
+    ///
+    /// Every worker owns one [`SimSession`], so consecutive specs with the
+    /// same machine configuration reuse a simulator instead of building one
+    /// per run — the dominant setup cost of the paper-scale sweeps. The
+    /// sink receives `(spec_index, outcome)` pairs in *completion* order
+    /// (not spec order) under an internal lock; outcomes are identical to
+    /// sequential fresh-simulator runs, so consumers that aggregate
+    /// incrementally (the sweep and figure binaries) never materialise the
+    /// whole result vector.
+    pub fn run_streaming<F>(&self, specs: &[RunSpec], sink: F)
+    where
+        F: FnMut(usize, RunOutcome) + Send,
+    {
+        if specs.is_empty() {
+            return;
+        }
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
-            .min(specs.len().max(1));
+            .min(specs.len());
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunOutcome>>> =
-            (0..specs.len()).map(|_| Mutex::new(None)).collect();
+        let sink = Mutex::new(sink);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(i) else { break };
-                    let outcome = self.run(spec);
-                    *slots[i].lock().expect("poisoned result slot") = Some(outcome);
+                scope.spawn(|| {
+                    let mut session = SimSession::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(spec) = specs.get(i) else { break };
+                        let outcome = session.run(spec);
+                        (*sink.lock().expect("poisoned sink"))(i, outcome);
+                    }
                 });
             }
         });
+    }
+
+    /// Runs many specs in parallel and returns the outcomes in spec order.
+    /// A convenience wrapper over [`Runner::run_streaming`] for consumers
+    /// that want the whole result vector.
+    pub fn run_all(&self, specs: &[RunSpec]) -> Vec<RunOutcome> {
+        let mut slots: Vec<Option<RunOutcome>> = specs.iter().map(|_| None).collect();
+        self.run_streaming(specs, |i, outcome| slots[i] = Some(outcome));
         slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("poisoned result slot")
-                    .expect("worker pool covered every spec")
-            })
+            .map(|slot| slot.expect("worker pool covered every spec"))
             .collect()
     }
 
     /// Single-thread baseline IPC of `bench` on `config` (ICOUNT, full
-    /// machine), cached per (bench, machine shape).
+    /// machine), cached per (bench, complete one-thread machine config).
     pub fn single_ipc(&self, bench: &str, config: &SimConfig, lengths: &RunSpec) -> f64 {
-        let key = format!(
-            "{bench}|{}|{}|{}|{}",
-            config.phys_regs, config.iq_entries, config.mem.memory_latency, config.mem.l2.latency
-        );
+        let mut single = config.clone();
+        single.threads = 1;
+        let key = BaselineKey {
+            bench: bench.to_string(),
+            config: single.clone(),
+        };
         if let Some(v) = self.baselines.lock().expect("poisoned").get(&key) {
             return *v;
         }
         let mut spec = RunSpec::new(&[bench], PolicyKind::Icount);
-        spec.config = {
-            let mut c = config.clone();
-            c.threads = 1;
-            c
-        };
+        spec.config = single;
         spec.prewarm_insts = lengths.prewarm_insts;
         spec.warmup_cycles = lengths.warmup_cycles;
         spec.measure_cycles = lengths.measure_cycles;
@@ -302,6 +389,7 @@ impl Runner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smt_sim::policy::Policy as _;
 
     fn tiny(benches: &[&str], policy: PolicyKind) -> RunSpec {
         let mut s = RunSpec::new(benches, policy);
@@ -325,6 +413,29 @@ mod tests {
             PolicyKind::Dcra(DcraConfig::default()),
         ] {
             assert_eq!(k.build().name(), k.name());
+        }
+    }
+
+    #[test]
+    fn canonical_names_round_trip() {
+        for name in [
+            "RR", "ICOUNT", "STALL", "FLUSH", "FLUSH++", "DG", "PDG", "SRA", "DCRA",
+        ] {
+            let kind = PolicyKind::from_name(name)
+                .unwrap_or_else(|| panic!("canonical policy {name} must parse"));
+            assert_eq!(kind.name(), name, "name ↔ kind round trip");
+        }
+        assert!(PolicyKind::from_name("NOPE").is_none());
+    }
+
+    #[test]
+    fn shell_friendly_flushpp_aliases() {
+        for alias in ["FLUSHPP", "FLUSH_PP", "flushpp", "flush_pp", "FLUSH++"] {
+            assert_eq!(
+                PolicyKind::from_name(alias),
+                Some(PolicyKind::FlushPlusPlus),
+                "{alias} should parse as FLUSH++"
+            );
         }
     }
 
@@ -354,6 +465,45 @@ mod tests {
     }
 
     #[test]
+    fn session_reuse_is_bit_identical_to_fresh_runs() {
+        // One session runs a mixed queue of same-config specs back to
+        // back; every outcome must match a fresh one-shot session.
+        let specs = [
+            tiny(&["gzip", "mcf"], PolicyKind::Icount),
+            tiny(&["art", "gcc"], PolicyKind::Dcra(DcraConfig::default())),
+            tiny(&["twolf", "swim"], PolicyKind::Flush),
+        ];
+        let mut session = SimSession::new();
+        for spec in &specs {
+            let reused = session.run(spec);
+            let fresh = SimSession::new().run(spec);
+            assert_eq!(reused.result, fresh.result, "session reuse drifted");
+            assert_eq!(reused.mem, fresh.mem);
+        }
+    }
+
+    #[test]
+    fn run_streaming_covers_every_spec_incrementally() {
+        let r = Runner::new();
+        let specs = vec![
+            tiny(&["gzip"], PolicyKind::Icount),
+            tiny(&["mcf"], PolicyKind::Stall),
+            tiny(&["art"], PolicyKind::Flush),
+        ];
+        let mut seen = vec![false; specs.len()];
+        let mut outcomes: Vec<Option<RunOutcome>> = specs.iter().map(|_| None).collect();
+        r.run_streaming(&specs, |i, out| {
+            seen[i] = true;
+            outcomes[i] = Some(out);
+        });
+        assert!(seen.iter().all(|&s| s), "every spec must reach the sink");
+        let batch = r.run_all(&specs);
+        for (streamed, batched) in outcomes.iter().zip(&batch) {
+            assert_eq!(streamed.as_ref().expect("seen").result, batched.result);
+        }
+    }
+
+    #[test]
     fn baseline_cache_hits() {
         let r = Runner::new();
         let lengths = tiny(&["gzip"], PolicyKind::Icount);
@@ -362,5 +512,41 @@ mod tests {
         let b = r.single_ipc("gzip", &cfg, &lengths);
         assert_eq!(a, b);
         assert!(a > 0.5);
+    }
+
+    #[test]
+    fn baseline_cache_distinguishes_rob_and_cache_geometry() {
+        // Regression: the old string key hashed only registers, IQ size
+        // and memory latencies, so a tiny-ROB config collided with the
+        // baseline config and returned its cached (wrong) IPC.
+        let r = Runner::new();
+        let lengths = tiny(&["gzip"], PolicyKind::Icount);
+        let full = SimConfig::baseline(1);
+        let ipc_full = r.single_ipc("gzip", &full, &lengths);
+        let mut small_rob = full.clone();
+        small_rob.rob_entries = 16;
+        let ipc_small = r.single_ipc("gzip", &small_rob, &lengths);
+        assert!(
+            ipc_small < ipc_full,
+            "16-entry ROB ({ipc_small}) must underperform the 512-entry baseline ({ipc_full})"
+        );
+        let mut small_l2 = full.clone();
+        small_l2.mem.l2.size_bytes = 16 * 1024;
+        let ipc_small_l2 = r.single_ipc("gzip", &small_l2, &lengths);
+        assert_ne!(
+            ipc_full, ipc_small_l2,
+            "cache geometry must be part of the baseline key"
+        );
+    }
+
+    #[test]
+    fn baseline_cache_ignores_requesting_thread_count() {
+        // Baselines always run one thread; a 2-thread and a 4-thread sweep
+        // over the same machine shape share the cache entry.
+        let r = Runner::new();
+        let lengths = tiny(&["gzip"], PolicyKind::Icount);
+        let a = r.single_ipc("gzip", &SimConfig::baseline(2), &lengths);
+        let b = r.single_ipc("gzip", &SimConfig::baseline(4), &lengths);
+        assert_eq!(a, b);
     }
 }

@@ -83,7 +83,7 @@ pub fn sweep_policy_threads(
     lengths: &RunSpec,
     thread_counts: &[usize],
 ) -> PolicySweep {
-    let workloads: Vec<_> = table4_workloads()
+    let workloads: Vec<Workload> = table4_workloads()
         .into_iter()
         .filter(|w| thread_counts.contains(&w.threads()))
         .collect();
@@ -97,41 +97,60 @@ pub fn sweep_policy_threads(
             s
         })
         .collect();
-    let outs = runner.run_all(&specs);
 
-    let mut classes = Vec::new();
-    for &threads in thread_counts {
-        for kind in WorkloadType::ALL {
-            let group: Vec<(&Workload, &crate::runner::RunOutcome)> = workloads
+    // Single-thread baselines first (cached across sweeps), so the
+    // streaming sink below stays cheap under its lock.
+    let singles: Vec<Vec<f64>> = workloads
+        .iter()
+        .map(|w| runner.single_ipcs(w, config, lengths))
+        .collect();
+
+    // Stream outcomes into per-spec scalar metrics: the heavy 36-run
+    // `RunOutcome` vector is never materialised and metric extraction
+    // overlaps the remaining simulations, but the class reduction below
+    // still sums in fixed spec order — f64 addition is not associative,
+    // and a completion-order sum would make identical sweeps differ in
+    // the last ulp across runs.
+    #[derive(Clone, Copy, Default)]
+    struct SpecMetrics {
+        tput: f64,
+        hm: f64,
+        fpc: f64,
+        mlp: f64,
+    }
+    let mut per_spec = vec![SpecMetrics::default(); specs.len()];
+    runner.run_streaming(&specs, |i, out| {
+        per_spec[i] = SpecMetrics {
+            tput: out.throughput(),
+            hm: hmean(&out.ipcs(), &singles[i]),
+            fpc: out.result.total_fetched() as f64 / out.result.total_committed().max(1) as f64,
+            mlp: smt_metrics::workload_mlp(&out.result),
+        };
+    });
+
+    let classes = thread_counts
+        .iter()
+        .flat_map(|&t| WorkloadType::ALL.iter().map(move |&k| (t, k)))
+        .map(|(threads, kind)| {
+            let group: Vec<&SpecMetrics> = workloads
                 .iter()
-                .zip(outs.iter())
+                .zip(&per_spec)
                 .filter(|(w, _)| w.threads() == threads && w.kind == kind)
+                .map(|(_, m)| m)
                 .collect();
             let n = group.len() as f64;
-            let mut tput = 0.0;
-            let mut hm = 0.0;
-            let mut fpc = 0.0;
-            let mut mlp = 0.0;
-            for (w, out) in &group {
-                let singles = runner.single_ipcs(w, config, lengths);
-                tput += out.throughput();
-                hm += hmean(&out.ipcs(), &singles);
-                fpc +=
-                    out.result.total_fetched() as f64 / out.result.total_committed().max(1) as f64;
-                mlp += smt_metrics::workload_mlp(&out.result);
-            }
-            classes.push((
+            (
                 threads,
                 kind,
                 ClassMetrics {
-                    throughput: tput / n,
-                    hmean: hm / n,
-                    fetch_per_commit: fpc / n,
-                    mlp: mlp / n,
+                    throughput: group.iter().map(|m| m.tput).sum::<f64>() / n,
+                    hmean: group.iter().map(|m| m.hm).sum::<f64>() / n,
+                    fetch_per_commit: group.iter().map(|m| m.fpc).sum::<f64>() / n,
+                    mlp: group.iter().map(|m| m.mlp).sum::<f64>() / n,
                 },
-            ));
-        }
-    }
+            )
+        })
+        .collect();
     PolicySweep {
         policy: policy.name().to_string(),
         classes,

@@ -61,12 +61,8 @@ pub fn run(cycles_per_workload: u64) -> Vec<(WorkloadType, PhaseDistribution)> {
                     .iter()
                     .map(|b| spec::profile(b).expect("table4 benchmark"))
                     .collect();
-                let mut sim = Simulator::new(
-                    SimConfig::baseline(2),
-                    &profiles,
-                    Box::new(smt_policies::Icount),
-                    42,
-                );
+                let mut sim =
+                    Simulator::new(SimConfig::baseline(2), &profiles, smt_policies::Icount, 42);
                 sim.prewarm(300_000);
                 sim.run_cycles(20_000);
                 for _ in 0..cycles_per_workload {

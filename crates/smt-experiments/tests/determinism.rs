@@ -2,17 +2,23 @@
 //! fixed cycle count at a fixed seed, must reproduce the exact simulation
 //! output captured before the event-driven wakeup rewrite of the core.
 //!
-//! The wakeup scoreboard and the zero-allocation cycle loop are pure
-//! performance work — they must change *speed*, never *behaviour*. These
-//! summaries pin down committed/fetched/squashed counts, miss counters,
-//! MLP accounting, per-thread blocking counters and the derived IPC for
-//! all nine policies, so any semantic drift in the core fails loudly.
+//! The wakeup scoreboard, the zero-allocation cycle loop, the
+//! enum-dispatched `AnyPolicy` layer and the session-reusing runner are
+//! pure performance work — they must change *speed*, never *behaviour*.
+//! These summaries pin down committed/fetched/squashed counts, miss
+//! counters, MLP accounting, per-thread blocking counters and the derived
+//! IPC for all nine policies, so any semantic drift in the core fails
+//! loudly. `PolicyKind::build` now yields statically-dispatched
+//! [`AnyPolicy`] values, so passing these goldens is also the proof that
+//! devirtualisation left every policy bit-identical; the session tests
+//! below pin the same property for the reset-reuse path.
 //!
 //! To regenerate after an *intentional* model change, run with
 //! `BLESS_GOLDENS=1 cargo test -p smt-experiments --test determinism -- --nocapture`
 //! and paste the printed table over `GOLDEN`.
 
-use smt_experiments::PolicyKind;
+use smt_experiments::{PolicyKind, RunSpec, Runner, SimSession};
+use smt_sim::policy::AnyPolicy;
 use smt_sim::{SimConfig, Simulator};
 use smt_workloads::spec;
 
@@ -87,6 +93,106 @@ const GOLDEN: [&str; 9] = [
     "SRA committed=15715/3183/6520/8201 fetched=24849/6909/10773/14336 squashed=9048/3678/4128/6077 mispred=808/424/267/605 loads=4146/889/2011/2243 l1d=339/271/500/198 l2=201/216/282/149 gated=0/0/0/0 mlp=80913/96589/111378/68093:29813/41782/36297/29265 blocked=0/0/0/0:146/141/172/168:0/0/0/0:7389/14135/7837/4931 ipc=0.672380",
     "DCRA committed=15715/3376/7347/8806 fetched=24936/7712/12074/15856 squashed=9131/4264/4607/7031 mispred=828/476/293/688 loads=4172/979/2284/2407 l1d=340/300/574/212 l2=203/239/302/151 gated=5841/10511/5432/3588 mlp=81051/99608/117593/69657:29843/41331/37845/29358 blocked=0/0/0/0:817/412/369/666:45/0/79/7:0/0/0/0 ipc=0.704880",
 ];
+
+/// The same goldens must hold when the nine policies run through the
+/// boxed escape hatch — `AnyPolicy::Boxed` is dynamic dispatch over the
+/// identical policy state, so static vs dynamic dispatch is observable
+/// only in speed.
+#[test]
+fn boxed_escape_hatch_matches_goldens_for_spot_checks() {
+    for (name, golden) in [("ICOUNT", GOLDEN[1]), ("DCRA", GOLDEN[8])] {
+        let kind = PolicyKind::from_name(name).expect("canonical policy");
+        let profiles: Vec<_> = BENCHES
+            .iter()
+            .map(|b| spec::profile(b).expect("known benchmark"))
+            .collect();
+        let boxed = AnyPolicy::Boxed(Box::new(kind.build()));
+        let mut sim = Simulator::new(SimConfig::baseline(BENCHES.len()), &profiles, boxed, SEED);
+        sim.run_cycles(CYCLES);
+        let r = sim.result();
+        let golden_ipc: f64 = golden
+            .rsplit("ipc=")
+            .next()
+            .expect("golden has ipc")
+            .parse()
+            .expect("golden ipc parses");
+        assert!(
+            (r.throughput() - golden_ipc).abs() < 5e-7,
+            "{name} through the boxed escape hatch drifted: {} vs {golden_ipc}",
+            r.throughput()
+        );
+    }
+}
+
+/// Session reuse (`run_all`/`run_streaming` with per-worker `SimSession`s)
+/// must equal fresh-`Simulator` sequential runs outcome for outcome.
+#[test]
+fn session_runner_matches_fresh_sequential_runs() {
+    let specs: Vec<RunSpec> = ["ICOUNT", "FLUSH", "SRA", "DCRA"]
+        .iter()
+        .map(|n| {
+            let mut s = RunSpec::new(
+                &["gzip", "mcf"],
+                PolicyKind::from_name(n).expect("canonical policy"),
+            );
+            s.prewarm_insts = 30_000;
+            s.warmup_cycles = 2_000;
+            s.measure_cycles = 15_000;
+            s
+        })
+        .collect();
+
+    // Reference: a fresh simulator per spec, sequentially.
+    let fresh: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            let profiles: Vec<_> = spec
+                .benches
+                .iter()
+                .map(|b| spec::profile(b).expect("known benchmark"))
+                .collect();
+            let mut sim = Simulator::new(
+                spec.config.clone(),
+                &profiles,
+                spec.policy.build(),
+                spec.seed,
+            );
+            sim.prewarm(spec.prewarm_insts);
+            sim.run_cycles(spec.warmup_cycles);
+            sim.reset_stats();
+            sim.run_cycles(spec.measure_cycles);
+            sim.result()
+        })
+        .collect();
+
+    // One session running the whole queue back to back.
+    let mut session = SimSession::new();
+    for (spec, want) in specs.iter().zip(&fresh) {
+        let got = session.run(spec);
+        assert_eq!(
+            &got.result, want,
+            "session reuse drifted on {}",
+            want.policy
+        );
+    }
+
+    // The parallel work-queue paths (per-worker sessions).
+    let runner = Runner::new();
+    for (out, want) in runner.run_all(&specs).iter().zip(&fresh) {
+        assert_eq!(&out.result, want, "run_all drifted on {}", want.policy);
+    }
+    let mut streamed: Vec<Option<smt_experiments::RunOutcome>> =
+        specs.iter().map(|_| None).collect();
+    runner.run_streaming(&specs, |i, out| streamed[i] = Some(out));
+    for (out, want) in streamed.iter().zip(&fresh) {
+        assert_eq!(
+            &out.as_ref().expect("sink covered every spec").result,
+            want,
+            "run_streaming drifted on {}",
+            want.policy
+        );
+    }
+}
 
 #[test]
 fn simulation_output_matches_pre_rewrite_goldens() {

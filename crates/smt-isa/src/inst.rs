@@ -174,6 +174,19 @@ pub struct DecodedInst {
 }
 
 impl DecodedInst {
+    /// An inert filler for unoccupied replay-ring slots — never observable
+    /// through the bounds-guarded ring interface.
+    pub fn placeholder() -> Self {
+        DecodedInst {
+            pc: 0,
+            class: InstClass::IntAlu,
+            dest: None,
+            dep_dist: [0; 2],
+            mem: None,
+            branch: None,
+        }
+    }
+
     /// Starts building a decoded instruction of the given class at `pc`.
     pub fn builder(class: InstClass, pc: u64) -> DecodedInstBuilder {
         DecodedInstBuilder {

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Geometry and timing of one cache.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -148,6 +148,17 @@ impl Cache {
 
     /// Clears the hit/miss counters (cache contents are kept).
     pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Returns the cache to its power-on state — every line invalid, LRU
+    /// stamps and counters zeroed — without releasing the tag arrays.
+    /// After this call the cache behaves bit-identically to a freshly
+    /// constructed one.
+    pub fn reset_cold(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.lru.fill(0);
+        self.tick = 0;
         self.stats = CacheStats::default();
     }
 

@@ -87,7 +87,7 @@ impl AccessOutcome {
 /// Configuration of the full memory hierarchy.
 ///
 /// Defaults are the paper's baseline (Table 2).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MemoryConfig {
     /// L1 instruction cache geometry.
     pub il1: CacheConfig,
@@ -343,6 +343,24 @@ impl MemoryHierarchy {
         self.il1.reset_stats();
         self.dl1.reset_stats();
         self.l2.reset_stats();
+    }
+
+    /// Returns the whole hierarchy to its power-on state — cold caches and
+    /// TLBs, no in-flight fills, zeroed statistics — while retaining every
+    /// allocation. A hierarchy that is `reset_cold` behaves bit-identically
+    /// to one freshly built with [`MemoryHierarchy::new`]; simulation
+    /// sessions rely on this to reuse one hierarchy across many runs.
+    pub fn reset_cold(&mut self) {
+        self.il1.reset_cold();
+        self.dl1.reset_cold();
+        self.l2.reset_cold();
+        self.mshr.reset_cold();
+        for tlb in &mut self.dtlb {
+            tlb.reset_cold();
+        }
+        for s in &mut self.stats {
+            *s = ThreadMemStats::default();
+        }
     }
 
     /// Raw cache statistics `(il1, dl1, l2)`.

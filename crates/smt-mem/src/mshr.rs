@@ -149,6 +149,14 @@ impl MshrFile {
         counts[..n].copy_from_slice(&self.mem_inflight[..n]);
     }
 
+    /// Drops every tracked fill and zeroes the MLP counters, keeping the
+    /// map/heap allocations. Bit-identical to a fresh MSHR file.
+    pub fn reset_cold(&mut self) {
+        self.entries.clear();
+        self.expiry.clear();
+        self.mem_inflight.clear();
+    }
+
     /// Number of tracked in-flight fills (any level).
     pub fn len(&self) -> usize {
         self.entries.len()

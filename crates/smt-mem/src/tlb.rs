@@ -108,6 +108,12 @@ impl Tlb {
     pub fn access(&mut self, addr: u64) -> bool {
         self.stats.accesses += 1;
         let page = addr >> self.page_shift;
+        // Most accesses touch the most-recent page; a head hit needs no
+        // hash lookup and no relink, so answer it from the recency list
+        // directly (identical hit/miss and LRU behaviour).
+        if self.head != NONE && self.pages[self.head as usize] == page {
+            return true;
+        }
         if let Some(&slot) = self.map.get(&page) {
             if self.head != slot {
                 self.unlink(slot);
@@ -137,6 +143,19 @@ impl Tlb {
     /// Hit/miss counters.
     pub fn stats(&self) -> TlbStats {
         self.stats
+    }
+
+    /// Returns the TLB to its power-on state (no resident pages, zeroed
+    /// counters) while keeping the slot allocations. Behaviour after the
+    /// call is bit-identical to a freshly constructed TLB.
+    pub fn reset_cold(&mut self) {
+        self.map.clear();
+        self.pages.clear();
+        self.prev.clear();
+        self.next.clear();
+        self.head = NONE;
+        self.tail = NONE;
+        self.stats = TlbStats::default();
     }
 }
 

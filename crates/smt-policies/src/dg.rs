@@ -2,7 +2,7 @@
 
 use crate::icount::icount_order_into;
 use smt_isa::ThreadId;
-use smt_sim::policy::{CycleView, Policy};
+use smt_policy_core::{CycleView, Policy};
 
 /// ICOUNT + stall-on-L1-data-miss: a thread with any pending L1 data miss
 /// is fetch-gated until all its misses are serviced.
@@ -16,7 +16,7 @@ use smt_sim::policy::{CycleView, Policy};
 ///
 /// ```
 /// use smt_policies::DataGating;
-/// use smt_sim::policy::Policy;
+/// use smt_policy_core::Policy;
 ///
 /// assert_eq!(DataGating::default().name(), "DG");
 /// ```
@@ -41,7 +41,7 @@ impl Policy for DataGating {
 mod tests {
     use super::*;
     use smt_isa::PerResource;
-    use smt_sim::policy::ThreadView;
+    use smt_policy_core::ThreadView;
 
     #[test]
     fn gates_on_any_pending_l1_miss() {

@@ -2,7 +2,7 @@
 
 use crate::icount::icount_order_into;
 use smt_isa::ThreadId;
-use smt_sim::policy::{CycleView, MissResponse, Policy};
+use smt_policy_core::{CycleView, MissResponse, Policy};
 
 /// ICOUNT + flush-on-L2-miss: when a thread's L2 miss is detected, every
 /// instruction younger than the missing load is squashed, releasing all the
@@ -16,7 +16,7 @@ use smt_sim::policy::{CycleView, MissResponse, Policy};
 ///
 /// ```
 /// use smt_policies::Flush;
-/// use smt_sim::policy::Policy;
+/// use smt_policy_core::Policy;
 ///
 /// assert_eq!(Flush::default().name(), "FLUSH");
 /// ```
@@ -45,7 +45,7 @@ impl Policy for Flush {
 mod tests {
     use super::*;
     use smt_isa::PerResource;
-    use smt_sim::policy::ThreadView;
+    use smt_policy_core::ThreadView;
 
     #[test]
     fn responds_with_flush() {

@@ -2,7 +2,7 @@
 
 use crate::icount::icount_order_into;
 use smt_isa::ThreadId;
-use smt_sim::policy::{CycleView, MissResponse, Policy};
+use smt_policy_core::{CycleView, MissResponse, Policy};
 
 /// FLUSH++ switches between STALL and FLUSH based on the cache behaviour of
 /// the running threads:
@@ -21,7 +21,7 @@ use smt_sim::policy::{CycleView, MissResponse, Policy};
 ///
 /// ```
 /// use smt_policies::FlushPlusPlus;
-/// use smt_sim::policy::Policy;
+/// use smt_policy_core::Policy;
 ///
 /// assert_eq!(FlushPlusPlus::default().name(), "FLUSH++");
 /// ```
@@ -104,7 +104,7 @@ impl Policy for FlushPlusPlus {
 mod tests {
     use super::*;
     use smt_isa::PerResource;
-    use smt_sim::policy::ThreadView;
+    use smt_policy_core::ThreadView;
 
     fn view_with(loads: &[(u64, u64)], now: u64) -> CycleView {
         CycleView {

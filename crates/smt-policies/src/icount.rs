@@ -1,16 +1,56 @@
 //! ICOUNT fetch policy (Tullsen et al., ISCA'96).
 
 use smt_isa::ThreadId;
-use smt_sim::policy::{CycleView, Policy};
+use smt_policy_core::{CycleView, Policy};
 
 /// Appends the threads in ascending pre-issue instruction count to `out` —
 /// the shared priority function of ICOUNT and every policy built on top of
 /// it. Ties break toward lower thread ids (deterministic). Writing into a
 /// caller-owned buffer keeps per-cycle ordering allocation-free.
 pub fn icount_order_into(view: &CycleView, out: &mut Vec<ThreadId>) {
-    let first = out.len();
-    out.extend((0..view.thread_count()).map(ThreadId::new));
-    out[first..].sort_by_key(|t| (view.threads[t.index()].icount, t.index()));
+    // This runs every cycle for six of the nine policies, so the common
+    // machine sizes (2–4 threads) use a fixed compare–exchange network on
+    // `(icount, index)` keys instead of the generic sort. Keys are unique
+    // (the index breaks ties), so the network's lack of stability cannot
+    // be observed and the order matches `sort_by_key` exactly.
+    let n = view.thread_count();
+    let key = |i: usize| (view.threads[i].icount, i);
+    match n {
+        0 => {}
+        1 => out.push(ThreadId::new(0)),
+        2 => {
+            let (a, b) = if key(0) <= key(1) { (0, 1) } else { (1, 0) };
+            out.extend([ThreadId::new(a), ThreadId::new(b)]);
+        }
+        3 | 4 => {
+            let mut k: [(u32, usize); 4] = [(0, 0); 4];
+            for (i, slot) in k.iter_mut().enumerate().take(n) {
+                *slot = key(i);
+            }
+            let cex = |k: &mut [(u32, usize); 4], a: usize, b: usize| {
+                if k[a] > k[b] {
+                    k.swap(a, b);
+                }
+            };
+            if n == 3 {
+                cex(&mut k, 0, 1);
+                cex(&mut k, 1, 2);
+                cex(&mut k, 0, 1);
+            } else {
+                cex(&mut k, 0, 1);
+                cex(&mut k, 2, 3);
+                cex(&mut k, 0, 2);
+                cex(&mut k, 1, 3);
+                cex(&mut k, 1, 2);
+            }
+            out.extend(k[..n].iter().map(|&(_, i)| ThreadId::new(i)));
+        }
+        _ => {
+            let first = out.len();
+            out.extend((0..n).map(ThreadId::new));
+            out[first..].sort_by_key(|t| (view.threads[t.index()].icount, t.index()));
+        }
+    }
 }
 
 /// Allocating convenience wrapper around [`icount_order_into`].
@@ -32,7 +72,7 @@ pub fn icount_order(view: &CycleView) -> Vec<ThreadId> {
 ///
 /// ```
 /// use smt_policies::Icount;
-/// use smt_sim::policy::Policy;
+/// use smt_policy_core::Policy;
 ///
 /// let p = Icount::default();
 /// assert_eq!(p.name(), "ICOUNT");
@@ -54,7 +94,7 @@ impl Policy for Icount {
 mod tests {
     use super::*;
     use smt_isa::PerResource;
-    use smt_sim::policy::ThreadView;
+    use smt_policy_core::ThreadView;
 
     fn view(icounts: &[u32]) -> CycleView {
         CycleView {

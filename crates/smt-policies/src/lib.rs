@@ -12,7 +12,7 @@
 //! | [`PredictiveDataGating`] | fetch | *predicted* L1 misses | fetch stall |
 //! | [`StaticAllocation`] | allocation | per-thread usage counters | hard partition |
 //!
-//! (`ROUND-ROBIN` lives in [`smt_sim::policy::RoundRobin`]; the paper's
+//! (`ROUND-ROBIN` lives in [`smt_policy_core::RoundRobin`]; the paper's
 //! contribution, DCRA, lives in the `dcra` crate.)
 //!
 //! # Examples
@@ -24,7 +24,7 @@
 //!
 //! let profiles = [spec::profile("gzip").unwrap(), spec::profile("twolf").unwrap()];
 //! let mut sim = Simulator::new(SimConfig::baseline(2), &profiles,
-//!                              Box::new(Icount::default()), 1);
+//!                              Icount, 1);
 //! sim.run_cycles(5_000);
 //! ```
 
@@ -47,14 +47,14 @@ pub use pdg::PredictiveDataGating;
 pub use sra::StaticAllocation;
 pub use stall::Stall;
 
-use smt_sim::policy::Policy;
+use smt_policy_core::Policy;
 
 /// Builds a boxed policy by its paper name (`"RR"`, `"ICOUNT"`, `"STALL"`,
 /// `"FLUSH"`, `"FLUSH++"`, `"DG"`, `"PDG"`, `"SRA"`). Returns `None` for
 /// unknown names ("DCRA" is constructed from the `dcra` crate).
 pub fn by_name(name: &str) -> Option<Box<dyn Policy>> {
     Some(match name {
-        "RR" => Box::new(smt_sim::policy::RoundRobin::default()),
+        "RR" => Box::new(smt_policy_core::RoundRobin::default()),
         "ICOUNT" => Box::new(Icount),
         "STALL" => Box::new(Stall),
         "FLUSH" => Box::new(Flush),

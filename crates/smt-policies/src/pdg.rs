@@ -3,7 +3,7 @@
 use crate::icount::icount_order_into;
 use fxhash::FxHashMap;
 use smt_isa::{DecodedInst, InstClass, ThreadId};
-use smt_sim::policy::{CycleView, Policy};
+use smt_policy_core::{CycleView, Policy};
 
 /// PDG stalls a thread as soon as a load *predicted* to miss the L1 is
 /// fetched, instead of waiting for the miss to be detected (DG). The miss
@@ -18,7 +18,7 @@ use smt_sim::policy::{CycleView, Policy};
 ///
 /// ```
 /// use smt_policies::PredictiveDataGating;
-/// use smt_sim::policy::Policy;
+/// use smt_policy_core::Policy;
 ///
 /// assert_eq!(PredictiveDataGating::default().name(), "PDG");
 /// ```
@@ -111,6 +111,10 @@ impl Policy for PredictiveDataGating {
         self.release(t.index(), pc);
     }
 
+    fn wants_squash_inst(&self) -> bool {
+        true
+    }
+
     fn on_squash_inst(&mut self, t: ThreadId, inst: &DecodedInst) {
         if inst.class == InstClass::Load {
             self.ensure(t.index() + 1);
@@ -123,7 +127,7 @@ impl Policy for PredictiveDataGating {
 mod tests {
     use super::*;
     use smt_isa::{PerResource, RegClass};
-    use smt_sim::policy::ThreadView;
+    use smt_policy_core::ThreadView;
 
     fn load(pc: u64) -> DecodedInst {
         DecodedInst::builder(InstClass::Load, pc)

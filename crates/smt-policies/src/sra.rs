@@ -2,7 +2,7 @@
 
 use crate::icount::icount_order_into;
 use smt_isa::{PerResource, QueueKind, RegClass, ResourceKind, ThreadId};
-use smt_sim::policy::{CycleView, Policy};
+use smt_policy_core::{CycleView, Policy};
 
 /// Static resource allocation: every shared resource is split evenly among
 /// the running threads and a thread may never exceed its `R/T` share
@@ -17,7 +17,7 @@ use smt_sim::policy::{CycleView, Policy};
 ///
 /// ```
 /// use smt_policies::StaticAllocation;
-/// use smt_sim::policy::Policy;
+/// use smt_policy_core::Policy;
 ///
 /// assert_eq!(StaticAllocation::default().name(), "SRA");
 /// ```
@@ -58,6 +58,10 @@ impl Policy for StaticAllocation {
         icount_order_into(view, order);
     }
 
+    fn wants_dispatch_view(&self) -> bool {
+        true
+    }
+
     fn may_dispatch(
         &self,
         t: ThreadId,
@@ -93,7 +97,7 @@ impl Policy for StaticAllocation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smt_sim::policy::ThreadView;
+    use smt_policy_core::ThreadView;
 
     fn view(n: usize, totals: u32) -> CycleView {
         CycleView {

@@ -2,7 +2,7 @@
 
 use crate::icount::icount_order_into;
 use smt_isa::ThreadId;
-use smt_sim::policy::{CycleView, MissResponse, Policy};
+use smt_policy_core::{CycleView, MissResponse, Policy};
 
 /// ICOUNT + stall-on-L2-miss: when a thread is detected to have an
 /// outstanding L2 miss, it stops fetching until the miss is serviced.
@@ -17,7 +17,7 @@ use smt_sim::policy::{CycleView, MissResponse, Policy};
 ///
 /// ```
 /// use smt_policies::Stall;
-/// use smt_sim::policy::Policy;
+/// use smt_policy_core::Policy;
 ///
 /// assert_eq!(Stall::default().name(), "STALL");
 /// ```
@@ -49,7 +49,7 @@ impl Policy for Stall {
 mod tests {
     use super::*;
     use smt_isa::PerResource;
-    use smt_sim::policy::ThreadView;
+    use smt_policy_core::ThreadView;
 
     #[test]
     fn gates_thread_with_pending_l2_miss() {

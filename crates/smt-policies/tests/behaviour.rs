@@ -2,11 +2,11 @@
 //! observable on a real simulation.
 
 use smt_policies::{by_name, DataGating, Flush, Stall};
-use smt_sim::policy::Policy;
+use smt_sim::policy::AnyPolicy;
 use smt_sim::{SimConfig, SimResult, Simulator};
 use smt_workloads::spec;
 
-fn run(benches: &[&str], policy: Box<dyn Policy>, cycles: u64) -> SimResult {
+fn run(benches: &[&str], policy: impl Into<AnyPolicy>, cycles: u64) -> SimResult {
     let profiles: Vec<_> = benches.iter().map(|b| spec::profile(b).unwrap()).collect();
     let mut sim = Simulator::new(SimConfig::baseline(benches.len()), &profiles, policy, 42);
     sim.prewarm(150_000);
@@ -20,7 +20,7 @@ fn run(benches: &[&str], policy: Box<dyn Policy>, cycles: u64) -> SimResult {
 fn stall_gates_the_memory_thread() {
     // Under STALL, the memory-bound thread must accumulate gated cycles;
     // under ICOUNT it must not.
-    let stall = run(&["art", "gzip"], Box::new(Stall), 60_000);
+    let stall = run(&["art", "gzip"], Stall, 60_000);
     assert!(
         stall.threads[0].gated_cycles > 0,
         "art should be stalled on detected L2 misses"
@@ -31,7 +31,7 @@ fn stall_gates_the_memory_thread() {
 
 #[test]
 fn flush_squashes_the_memory_thread() {
-    let flush = run(&["art", "gzip"], Box::new(Flush), 60_000);
+    let flush = run(&["art", "gzip"], Flush, 60_000);
     assert!(
         flush.threads[0].squashed > flush.threads[0].mispredicts,
         "FLUSH must squash beyond branch mispredictions (squashed={}, mispredicts={})",
@@ -44,8 +44,8 @@ fn flush_squashes_the_memory_thread() {
 fn dg_gates_harder_than_stall() {
     // DG reacts to every L1 miss, STALL only to L2 misses, so DG must gate
     // the memory thread at least as often.
-    let dg = run(&["art", "gzip"], Box::new(DataGating), 60_000);
-    let stall = run(&["art", "gzip"], Box::new(Stall), 60_000);
+    let dg = run(&["art", "gzip"], DataGating, 60_000);
+    let stall = run(&["art", "gzip"], Stall, 60_000);
     assert!(
         dg.threads[0].gated_cycles > stall.threads[0].gated_cycles,
         "DG gated {} vs STALL {}",
@@ -90,8 +90,8 @@ fn sra_limits_thread_resource_usage() {
 
 #[test]
 fn flush_increases_frontend_activity_on_mem_workloads() {
-    let flush = run(&["swim", "art"], Box::new(Flush), 60_000);
-    let stall = run(&["swim", "art"], Box::new(Stall), 60_000);
+    let flush = run(&["swim", "art"], Flush, 60_000);
+    let stall = run(&["swim", "art"], Stall, 60_000);
     let rate = |r: &SimResult| r.total_fetched() as f64 / r.total_committed().max(1) as f64;
     assert!(
         rate(&flush) > rate(&stall),

@@ -1,0 +1,235 @@
+//! The resource-allocation / fetch-policy interface.
+//!
+//! The simulator consults a [`Policy`] at three points every cycle —
+//! fetch ordering, fetch gating, dispatch gating — and notifies it of the
+//! events the paper's policies key on (dispatch-time allocation, L1 data
+//! misses, L2 miss detection, miss service). Instruction-fetch policies
+//! (ICOUNT, STALL, FLUSH, DG, PDG, FLUSH++) use only the gates and events;
+//! *allocation* policies (SRA, DCRA) additionally use the per-thread
+//! resource-usage counters in the [`CycleView`] — exactly the distinction
+//! Section 3.3 of the paper draws.
+//!
+//! This crate sits *below* both the concrete policy crates (`smt-policies`,
+//! `dcra`) and the simulator (`smt-sim`), so the simulator can depend on
+//! the concrete policies and dispatch them statically through its
+//! `AnyPolicy` enum. `smt-sim` re-exports everything here under
+//! `smt_sim::policy`, which remains the canonical import path for
+//! simulator users.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use smt_isa::{DecodedInst, PerResource, QueueKind, RegClass, ThreadId};
+use smt_mem::HitLevel;
+
+/// Per-thread state visible to policies each cycle.
+///
+/// These correspond to the hardware counters of Section 3.4: per-thread
+/// queue/register occupancy and the pending-L1-miss counter, plus the
+/// ICOUNT-style pre-issue instruction count that fetch policies use.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadView {
+    /// Instructions in pre-issue stages (fetch queue + issue queues).
+    pub icount: u32,
+    /// Currently allocated entries of each controlled resource.
+    pub usage: PerResource<u32>,
+    /// Loads with an outstanding L1 data miss.
+    pub l1d_pending: u32,
+    /// Loads with a *detected* outstanding L2 miss (detection lags the
+    /// access by the L2 latency, as in the paper's STALL discussion).
+    pub l2_pending: u32,
+    /// Instructions committed so far.
+    pub committed: u64,
+    /// Data-cache accesses and L2 misses so far (for FLUSH++'s workload
+    /// pressure heuristic).
+    pub l2_misses: u64,
+    /// Loads executed so far.
+    pub loads: u64,
+}
+
+/// Machine-wide state visible to policies each cycle.
+///
+/// The simulator owns long-lived `CycleView` buffers and refreshes them in
+/// place each cycle (no per-cycle allocation); policies only ever see a
+/// shared reference.
+#[derive(Debug, Clone, Default)]
+pub struct CycleView {
+    /// Current cycle.
+    pub now: u64,
+    /// Per-thread state, indexed by [`ThreadId::index`].
+    pub threads: Vec<ThreadView>,
+    /// Total entries of each controlled resource.
+    pub totals: PerResource<u32>,
+}
+
+impl CycleView {
+    /// Convenience accessor.
+    pub fn thread(&self, t: ThreadId) -> &ThreadView {
+        &self.threads[t.index()]
+    }
+
+    /// Number of hardware threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+/// Reaction to a detected L2 miss (Tullsen & Brown's STALL vs FLUSH).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissResponse {
+    /// Do nothing special.
+    Continue,
+    /// Stop fetching from the thread until the miss is serviced.
+    Stall,
+    /// Squash every instruction of the thread younger than the missing load
+    /// and stall fetch until the miss is serviced.
+    Flush,
+}
+
+/// A fetch/resource-allocation policy.
+///
+/// Implementations must be deterministic: the simulator is fully
+/// reproducible for a given seed and the experiments depend on it.
+pub trait Policy {
+    /// Short name used in reports (e.g. `"DCRA"`, `"FLUSH++"`).
+    fn name(&self) -> &str;
+
+    /// Called once at the start of every cycle, before any stage runs.
+    fn begin_cycle(&mut self, _view: &CycleView) {}
+
+    /// Appends the threads in fetch-priority order (best first) to
+    /// `order`. Threads omitted are not fetched this cycle.
+    ///
+    /// The buffer arrives cleared and is reused by the simulator across
+    /// cycles, so implementations stay allocation-free in steady state.
+    fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>);
+
+    /// `true` if thread `t` may fetch this cycle. Called only for threads
+    /// in the fetch order. This is the *response action* of stalling
+    /// policies (STALL, DG, PDG) and the enforcement point of DCRA.
+    fn fetch_gate(&mut self, _t: ThreadId, _view: &CycleView) -> bool {
+        true
+    }
+
+    /// `true` if thread `t` may dispatch (rename) an instruction occupying
+    /// `queue` and optionally a `dest` rename register. Hard-partition
+    /// policies (SRA) enforce their limits here.
+    fn may_dispatch(
+        &self,
+        _t: ThreadId,
+        _queue: QueueKind,
+        _dest: Option<RegClass>,
+        _view: &CycleView,
+    ) -> bool {
+        true
+    }
+
+    /// Notification: thread `t` fetched `inst` (PDG trains its miss
+    /// predictor here).
+    fn on_fetch_inst(&mut self, _t: ThreadId, _inst: &DecodedInst) {}
+
+    /// Notification: thread `t` dispatched an instruction into `queue`,
+    /// allocating a `dest`-class rename register if `Some` (DCRA resets its
+    /// activity counters here).
+    fn on_dispatch(&mut self, _t: ThreadId, _queue: QueueKind, _dest: Option<RegClass>) {}
+
+    /// Notification: a load of thread `t` at `pc` missed in the L1 data
+    /// cache (DG/PDG input).
+    fn on_l1d_miss(&mut self, _t: ThreadId, _pc: u64) {}
+
+    /// A load of thread `t` has been *detected* to miss in the L2 (the
+    /// detection happens one L2 latency after issue). The returned
+    /// [`MissResponse`] is applied by the simulator.
+    fn on_l2_miss_detected(&mut self, _t: ThreadId, _view: &CycleView) -> MissResponse {
+        MissResponse::Continue
+    }
+
+    /// Notification: an outstanding miss of thread `t` was serviced.
+    /// `level` is the deepest level the miss went to.
+    fn on_miss_resolved(&mut self, _t: ThreadId, _pc: u64, _level: HitLevel) {}
+
+    /// Notification: a load of thread `t` completed. `l1_missed` reports
+    /// whether it had missed the L1 (PDG trains and releases its gate
+    /// here, covering loads its predictor flagged that actually hit).
+    fn on_load_complete(&mut self, _t: ThreadId, _pc: u64, _l1_missed: bool) {}
+
+    /// Notification: an in-flight instruction of thread `t` was squashed
+    /// (branch misprediction or policy flush). Lets stateful policies
+    /// release bookkeeping tied to the instruction.
+    fn on_squash_inst(&mut self, _t: ThreadId, _inst: &DecodedInst) {}
+
+    /// `true` if the policy reads the [`CycleView`] in
+    /// [`Policy::may_dispatch`]. Allocation policies (SRA, DCRA) override
+    /// this; for everything else the simulator skips the mid-cycle view
+    /// refresh that `may_dispatch` would otherwise need every cycle.
+    fn wants_dispatch_view(&self) -> bool {
+        false
+    }
+
+    /// `true` if the policy consumes [`Policy::on_squash_inst`]. The
+    /// simulator skips the decoded-record lookup for every squashed
+    /// instruction when the notification would be a no-op (squash rates
+    /// run at roughly half of fetch, so this is a measurable hot-path
+    /// saving); override alongside `on_squash_inst`.
+    fn wants_squash_inst(&self) -> bool {
+        false
+    }
+}
+
+/// Round-robin over runnable threads — the simplest possible fetch order,
+/// used as the default and as the paper's ROUND-ROBIN baseline.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    start: usize,
+}
+
+impl Policy for RoundRobin {
+    fn name(&self) -> &str {
+        "RR"
+    }
+
+    fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>) {
+        let n = view.thread_count();
+        let start = self.start;
+        self.start = (self.start + 1) % n.max(1);
+        order.extend((0..n).map(|i| ThreadId::new((start + i) % n)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(n: usize) -> CycleView {
+        CycleView {
+            now: 0,
+            threads: vec![ThreadView::default(); n],
+            totals: PerResource::filled(80),
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut rr = RoundRobin::default();
+        let v = view(3);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        rr.fetch_order(&v, &mut a);
+        rr.fetch_order(&v, &mut b);
+        assert_eq!(a[0].index(), 0);
+        assert_eq!(b[0].index(), 1);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn default_gates_are_open() {
+        let mut rr = RoundRobin::default();
+        let v = view(2);
+        assert!(rr.fetch_gate(ThreadId::new(0), &v));
+        assert!(rr.may_dispatch(ThreadId::new(0), QueueKind::Int, Some(RegClass::Int), &v));
+        assert_eq!(
+            rr.on_l2_miss_detected(ThreadId::new(0), &v),
+            MissResponse::Continue
+        );
+    }
+}

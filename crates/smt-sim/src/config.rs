@@ -23,7 +23,7 @@ use smt_mem::MemoryConfig;
 /// assert_eq!(cfg.phys_regs, 352);
 /// assert_eq!(cfg.rename_pool(), 352 - 32 * 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Number of hardware threads for this run.
     pub threads: usize,

@@ -1,8 +1,8 @@
 //! The cycle-level SMT simulator core.
 
 use crate::config::SimConfig;
-use crate::inst::{DynInst, Stage};
-use crate::policy::{CycleView, MissResponse, Policy, ThreadView};
+use crate::inst::{DynInst, Stage, NO_DEP};
+use crate::policy::{AnyPolicy, CycleView, MissResponse, Policy, ThreadView};
 use crate::stats::{SimResult, ThreadStats};
 use crate::thread::{ThreadState, NO_WAITER};
 use smt_bpred::BranchPredictor;
@@ -12,14 +12,20 @@ use smt_workloads::{BenchmarkProfile, TraceGenerator};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// A timing event scheduled on the simulator's event queue.
+/// A timing event scheduled on the simulator's event queue. Field order
+/// is the comparison order (and the per-cycle drain order): `(at, uid,
+/// tid, kind, seq)` — drain-order-equivalent to the original `(at, uid,
+/// tid, seq, kind)` because `uid` is globally unique per incarnation, so
+/// two distinct events can only tie through `kind`. `tid` is narrowed to
+/// `u32` and `kind` packed before `seq` purely to keep the struct at 32
+/// bytes — the wheel sorts one bucket of these every cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Event {
     at: u64,
     uid: u64,
-    tid: usize,
-    seq: u64,
+    tid: u32,
     kind: EventKind,
+    seq: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -31,12 +37,64 @@ enum EventKind {
     DetectL2,
 }
 
-/// Ready-list key: `(dispatched_at, seq, tid, uid)`. The first three
-/// fields reproduce the age order the scan-based issue stage used
-/// (`sort_unstable` over the same tuple); `uid` identifies the
-/// incarnation so entries left behind by a squash are recognised as
-/// stale when popped.
-type ReadyKey = (u64, u64, usize, u64);
+/// Ready-list entry: ordered by `(dispatched_at, seq·8 + tid)` — exactly
+/// the `(dispatched_at, seq, tid)` age order the scan-based issue stage
+/// used (`tid < ThreadId::MAX_THREADS = 8`, so the packing is
+/// order-preserving). `uid` identifies the incarnation so entries left
+/// behind by a squash are recognised as stale when popped; it is excluded
+/// from the ordering (and equality) because at most one entry per
+/// `(dispatched_at, seq, tid)` can ever be live — a squashed incarnation
+/// is re-dispatched at a strictly later cycle.
+#[derive(Clone, Copy)]
+struct ReadyEntry {
+    at: u64,
+    seq_tid: u64,
+    uid: u64,
+}
+
+impl PartialEq for ReadyEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq_tid) == (other.at, other.seq_tid)
+    }
+}
+
+impl Eq for ReadyEntry {}
+
+impl ReadyEntry {
+    #[inline]
+    fn new(at: u64, seq: u64, tid: usize, uid: u64) -> Self {
+        debug_assert!(tid < smt_isa::ThreadId::MAX_THREADS);
+        ReadyEntry {
+            at,
+            seq_tid: (seq << 3) | tid as u64,
+            uid,
+        }
+    }
+
+    #[inline]
+    fn seq(&self) -> u64 {
+        self.seq_tid >> 3
+    }
+
+    #[inline]
+    fn tid(&self) -> usize {
+        (self.seq_tid & 7) as usize
+    }
+}
+
+impl Ord for ReadyEntry {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq_tid).cmp(&(other.at, other.seq_tid))
+    }
+}
+
+impl PartialOrd for ReadyEntry {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// Timing wheel for the simulator's completion/detection events.
 ///
@@ -97,13 +155,25 @@ impl EventWheel {
             due.push(ev);
         }
         debug_assert!(due.iter().all(|e| e.at <= now), "stale bucket entry");
-        due.sort_unstable();
+        if due.len() > 1 {
+            due.sort_unstable();
+        }
         due
     }
 
     /// Hands the drain buffer back for reuse.
     fn restore(&mut self, due: Vec<Event>) {
         self.due = due;
+    }
+
+    /// Discards every scheduled event, retaining all allocations. Used by
+    /// [`Simulator::reset`] when a session is reused for a new run.
+    fn clear(&mut self) {
+        for slot in &mut self.slots {
+            slot.clear();
+        }
+        self.overflow.clear();
+        self.due.clear();
     }
 }
 
@@ -122,7 +192,7 @@ impl EventWheel {
 ///
 /// let cfg = SimConfig::baseline(2);
 /// let profiles = [spec::profile("gzip").unwrap(), spec::profile("gcc").unwrap()];
-/// let mut sim = Simulator::new(cfg, &profiles, Box::new(RoundRobin::default()), 42);
+/// let mut sim = Simulator::new(cfg, &profiles, RoundRobin::default(), 42);
 /// sim.run_cycles(1_000);
 /// let result = sim.result();
 /// assert!(result.total_committed() > 0);
@@ -130,7 +200,7 @@ impl EventWheel {
 pub struct Simulator {
     config: SimConfig,
     threads: Vec<ThreadState>,
-    policy: Box<dyn Policy>,
+    policy: AnyPolicy,
     bpred: BranchPredictor,
     mem: MemoryHierarchy,
     now: u64,
@@ -145,9 +215,9 @@ pub struct Simulator {
     stats: Vec<ThreadStats>,
     commit_rr: usize,
     /// Event-driven wakeup scoreboard: one ready list per issue queue,
-    /// ordered oldest-first by [`ReadyKey`]. `issue()` pops from these
+    /// ordered oldest-first by [`ReadyEntry`]. `issue()` pops from these
     /// instead of rescanning every in-flight instruction.
-    ready: [BinaryHeap<Reverse<ReadyKey>>; 3],
+    ready: [BinaryHeap<Reverse<ReadyEntry>>; 3],
     /// Reusable per-cycle policy view (refreshed in place at the start of
     /// every cycle; also used by `fetch`, which sees pre-commit state).
     cycle_view: CycleView,
@@ -183,7 +253,7 @@ impl Simulator {
     pub fn new(
         config: SimConfig,
         profiles: &[&BenchmarkProfile],
-        policy: Box<dyn Policy>,
+        policy: impl Into<AnyPolicy>,
         seed: u64,
     ) -> Self {
         config.validate().expect("invalid simulator configuration");
@@ -192,15 +262,19 @@ impl Simulator {
             config.threads,
             "need exactly one benchmark per hardware thread"
         );
+        let window_span = (config.rob_entries + config.fetch_queue) as usize;
         let threads: Vec<ThreadState> = profiles
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                ThreadState::new(TraceGenerator::new(
-                    p,
-                    seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64),
-                    i as u64,
-                ))
+                ThreadState::new(
+                    TraceGenerator::new(
+                        p,
+                        seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64),
+                        i as u64,
+                    ),
+                    window_span,
+                )
             })
             .collect();
         let n = threads.len();
@@ -209,7 +283,7 @@ impl Simulator {
             bpred: BranchPredictor::new(&config.bpred, n),
             mem: MemoryHierarchy::new(&config.mem, n),
             threads,
-            policy,
+            policy: policy.into(),
             now: 0,
             measure_start: 0,
             uid_counter: 0,
@@ -234,6 +308,59 @@ impl Simulator {
             order_scratch: Vec::new(),
             mlp_scratch: vec![0; n],
             totals,
+        }
+    }
+
+    /// Re-initialises the simulator in place for a fresh run on the same
+    /// machine configuration: new trace generators, a new policy, cold
+    /// caches/predictors, zeroed counters and an empty window — exactly the
+    /// state [`Simulator::new`] would produce, but with every long-lived
+    /// allocation (instruction windows, cache tag arrays, event wheel,
+    /// ready lists, waiter pools) retained. This is what makes sweep
+    /// sessions cheap: hundreds of short runs reuse one simulator instead
+    /// of reallocating the whole machine per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles.len() != config.threads` (the thread count is
+    /// fixed at construction).
+    pub fn reset(
+        &mut self,
+        profiles: &[&BenchmarkProfile],
+        policy: impl Into<AnyPolicy>,
+        seed: u64,
+    ) {
+        assert_eq!(
+            profiles.len(),
+            self.threads.len(),
+            "need exactly one benchmark per hardware thread"
+        );
+        for (i, (th, p)) in self.threads.iter_mut().zip(profiles).enumerate() {
+            th.reset(TraceGenerator::new(
+                p,
+                seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64),
+                i as u64,
+            ));
+        }
+        self.policy = policy.into();
+        self.bpred.reset_cold();
+        self.mem.reset_cold();
+        self.now = 0;
+        self.measure_start = 0;
+        self.uid_counter = 0;
+        self.rob_used = 0;
+        self.iq_used = [0; 3];
+        self.regs_used = [0; 2];
+        for u in &mut self.usage {
+            *u = PerResource::default();
+        }
+        self.events.clear();
+        for s in &mut self.stats {
+            *s = ThreadStats::default();
+        }
+        self.commit_rr = 0;
+        for r in &mut self.ready {
+            r.clear();
         }
     }
 
@@ -389,7 +516,8 @@ impl Simulator {
         for ev in &due {
             // The instruction may have been squashed (uid mismatch) or even
             // re-fetched under the same seq; both are stale.
-            let valid = self.threads[ev.tid]
+            let tid = ev.tid as usize;
+            let valid = self.threads[tid]
                 .get(ev.seq)
                 .map(|i| i.uid == ev.uid)
                 .unwrap_or(false);
@@ -397,8 +525,8 @@ impl Simulator {
                 continue;
             }
             match ev.kind {
-                EventKind::Complete => self.complete_inst(ev.tid, ev.seq),
-                EventKind::DetectL2 => self.detect_l2(ev.tid, ev.seq),
+                EventKind::Complete => self.complete_inst(tid, ev.seq),
+                EventKind::DetectL2 => self.detect_l2(tid, ev.seq),
             }
         }
         self.events.restore(due);
@@ -407,15 +535,15 @@ impl Simulator {
     fn complete_inst(&mut self, tid: usize, seq: u64) {
         let t = ThreadId::new(tid);
         let th = &mut self.threads[tid];
-        let inst = th.get_mut(seq).expect("completing unknown instruction");
+        let inst = th.at_mut(seq);
         debug_assert_eq!(inst.stage, Stage::Executing);
         inst.stage = Stage::Done;
         let mispredicted = inst.mispredicted;
         let l1_miss = inst.l1_miss;
         let l2_miss = inst.l2_miss;
         let l2_detected = inst.l2_detected;
-        let pc = inst.decoded.pc;
-        let is_load = inst.decoded.class == InstClass::Load;
+        let pc = inst.pc;
+        let is_load = inst.class == InstClass::Load;
 
         if l1_miss {
             th.l1d_pending -= 1;
@@ -432,21 +560,19 @@ impl Simulator {
         // consumer's outstanding-operand count, and move the newly-ready
         // ones onto their queue's ready list. Nodes whose uid no longer
         // matches belong to squashed incarnations and are just recycled.
-        // The window's shape is stable during the walk, so the base is
-        // resolved once and consumers are indexed directly.
-        let base = th.window_base().expect("completing inst is in the window");
-        let mut node = th.detach_waiters_at((seq - base) as usize);
+        let mut node = th.detach_waiters(seq);
         while node != NO_WAITER {
             let (w, next) = th.take_waiter(node);
             node = next;
-            debug_assert!(w.seq > base, "consumers are younger than their producer");
-            if let Some(consumer) = th.window.get_mut((w.seq - base) as usize) {
+            debug_assert!(w.seq > seq, "consumers are younger than their producer");
+            if let Some(consumer) = th.get_mut(w.seq) {
                 if consumer.uid == w.uid && consumer.stage == Stage::Dispatched {
                     consumer.pending_ops -= 1;
                     if consumer.pending_ops == 0 {
-                        let key = (consumer.dispatched_at, w.seq, tid, consumer.uid);
-                        let q = consumer.decoded.class.queue();
-                        self.ready[q.index()].push(Reverse(key));
+                        let entry =
+                            ReadyEntry::new(consumer.dispatched_at, w.seq, tid, consumer.uid);
+                        let q = consumer.class.queue();
+                        self.ready[q.index()].push(Reverse(entry));
                     }
                 }
             }
@@ -520,17 +646,21 @@ impl Simulator {
                 }
                 let tid = (start + k) % n;
                 let th = &mut self.threads[tid];
-                let committable = matches!(th.window.front().map(|i| i.stage), Some(Stage::Done));
-                if !committable {
+                let Some(base) = th.window_base() else {
+                    continue;
+                };
+                let inst = th.at(base);
+                if inst.stage != Stage::Done {
                     continue;
                 }
-                let inst = th.window.pop_front().expect("checked non-empty");
+                let dest = inst.dest;
+                th.advance_base();
+                th.retire_buffer(base);
                 self.rob_used -= 1;
-                if let Some(dest) = inst.decoded.dest {
+                if let Some(dest) = dest {
                     self.regs_used[dest.index()] -= 1;
                     self.usage[tid][dest.resource()] -= 1;
                 }
-                th.retire_buffer(inst.seq);
                 self.stats[tid].committed += 1;
                 budget -= 1;
                 progressed = true;
@@ -552,9 +682,10 @@ impl Simulator {
             // discarded without consuming issue bandwidth, exactly as the
             // scan never saw them.
             while unit_budget > 0 && global_budget > 0 {
-                let Some(Reverse((_, seq, tid, uid))) = self.ready[q.index()].pop() else {
+                let Some(Reverse(entry)) = self.ready[q.index()].pop() else {
                     break;
                 };
+                let (seq, tid, uid) = (entry.seq(), entry.tid(), entry.uid);
                 let live = self.threads[tid]
                     .get(seq)
                     .map(|i| i.uid == uid && i.stage == Stage::Dispatched)
@@ -564,11 +695,9 @@ impl Simulator {
                 }
                 #[cfg(debug_assertions)]
                 {
-                    let th = &self.threads[tid];
-                    let base = th.window_base().expect("live inst implies a window");
-                    let inst = th.get(seq).expect("validated above");
+                    let inst = self.threads[tid].get(seq).expect("validated above");
                     debug_assert!(
-                        self.operands_ready(tid, base, inst),
+                        self.operands_ready(tid, inst),
                         "wakeup scoreboard woke T{tid} seq {seq} before its operands"
                     );
                 }
@@ -579,18 +708,14 @@ impl Simulator {
         }
     }
 
-    fn operands_ready(&self, tid: usize, base: u64, inst: &DynInst) -> bool {
-        inst.deps.iter().all(|d| match d {
-            None => true,
-            Some(p) => {
-                if *p < base {
-                    true // already committed
-                } else {
-                    match self.threads[tid].window.get((*p - base) as usize) {
-                        Some(producer) => producer.stage == Stage::Done,
-                        None => true,
-                    }
-                }
+    fn operands_ready(&self, tid: usize, inst: &DynInst) -> bool {
+        inst.deps.iter().all(|&p| {
+            if p == NO_DEP {
+                return true;
+            }
+            match self.threads[tid].get(p) {
+                Some(producer) => producer.stage == Stage::Done,
+                None => true, // already committed
             }
         })
     }
@@ -600,15 +725,12 @@ impl Simulator {
         let now = self.now;
         let regread = u64::from(self.config.regread_delay);
         let th = &mut self.threads[tid];
-        // The window does not change shape during issue, so resolve the
-        // seq → slot mapping once and index directly from here on.
-        let idx = (seq - th.window_base().expect("issuing into an empty window")) as usize;
-        let inst = &mut th.window[idx];
-        let class = inst.decoded.class;
+        let inst = th.at_mut(seq);
+        let class = inst.class;
         let q = class.queue();
         let uid = inst.uid;
-        let mem_access = inst.decoded.mem;
-        let pc = inst.decoded.pc;
+        let mem_addr = inst.mem_addr;
+        let pc = inst.pc;
 
         inst.stage = Stage::Executing;
         th.pre_issue -= 1;
@@ -617,25 +739,24 @@ impl Simulator {
 
         let ready_at = match class {
             InstClass::Load => {
-                let m = mem_access.expect("load without address");
-                let outcome = self.mem.access_data(t, m.addr, false, now);
+                let outcome = self.mem.access_data(t, mem_addr, false, now);
                 self.stats[tid].loads += 1;
                 if outcome.l1_miss() {
                     let th = &mut self.threads[tid];
-                    th.window[idx].l1_miss = true;
+                    th.at_mut(seq).l1_miss = true;
                     th.l1d_pending += 1;
                     self.stats[tid].l1d_misses += 1;
                     self.policy.on_l1d_miss(t, pc);
                 }
                 if outcome.l2_miss() {
-                    self.threads[tid].window[idx].l2_miss = true;
+                    self.threads[tid].at_mut(seq).l2_miss = true;
                     self.stats[tid].l2_misses += 1;
                     self.events.push(
                         now,
                         Event {
                             at: now + u64::from(self.config.mem.l2.latency),
                             uid,
-                            tid,
+                            tid: tid as u32,
                             seq,
                             kind: EventKind::DetectL2,
                         },
@@ -644,21 +765,19 @@ impl Simulator {
                 now + regread + u64::from(outcome.latency)
             }
             InstClass::Store => {
-                let m = mem_access.expect("store without address");
                 // Stores write at commit through a store buffer; the access
                 // warms the caches but does not block the pipeline.
-                let _ = self.mem.access_data(t, m.addr, true, now);
+                let _ = self.mem.access_data(t, mem_addr, true, now);
                 now + regread + u64::from(class.exec_latency())
             }
             c => now + regread + u64::from(c.exec_latency()),
         };
-        self.threads[tid].window[idx].ready_at = ready_at;
         self.events.push(
             now,
             Event {
                 at: ready_at,
                 uid,
-                tid,
+                tid: tid as u32,
                 seq,
                 kind: EventKind::Complete,
             },
@@ -672,8 +791,14 @@ impl Simulator {
         // The view's usage is kept live across this cycle's dispatches so
         // hard-partition policies (SRA) see every allocation immediately —
         // otherwise several same-cycle dispatches could overshoot a cap.
+        // Policies whose `may_dispatch` ignores the view (everything but
+        // the allocation policies) skip the refresh and the per-dispatch
+        // usage mirroring entirely.
+        let needs_view = self.policy.wants_dispatch_view();
         let mut view = std::mem::take(&mut self.scratch_view);
-        self.fill_view(&mut view);
+        if needs_view {
+            self.fill_view(&mut view);
+        }
         for &t in order {
             let tid = t.index();
             while budget > 0 {
@@ -687,8 +812,8 @@ impl Simulator {
                 if inst.dispatch_eligible_at > self.now {
                     break;
                 }
-                let q = inst.decoded.class.queue();
-                let dest = inst.decoded.dest;
+                let q = inst.class.queue();
+                let dest = inst.dest;
                 // Shared structural limits.
                 if self.rob_used >= self.config.rob_entries {
                     self.stats[tid].blocked_rob += 1;
@@ -711,9 +836,7 @@ impl Simulator {
                 }
                 // Allocate.
                 let th = &mut self.threads[tid];
-                let base = th.window_base().expect("dispatched inst is in the window");
-                let idx = (seq - base) as usize;
-                let inst = &mut th.window[idx];
+                let inst = th.at_mut(seq);
                 inst.stage = Stage::Dispatched;
                 inst.dispatched_at = self.now;
                 let uid = inst.uid;
@@ -725,9 +848,13 @@ impl Simulator {
                 if let Some(d) = dest {
                     self.regs_used[d.index()] += 1;
                     self.usage[tid][d.resource()] += 1;
-                    view.threads[tid].usage[d.resource()] += 1;
+                    if needs_view {
+                        view.threads[tid].usage[d.resource()] += 1;
+                    }
                 }
-                view.threads[tid].usage[q.resource()] += 1;
+                if needs_view {
+                    view.threads[tid].usage[q.resource()] += 1;
+                }
 
                 // Wakeup scoreboard entry: count the operands still in
                 // flight and subscribe to their producers. Producers below
@@ -735,23 +862,19 @@ impl Simulator {
                 // `Done` have their results — neither is outstanding.
                 let th = &mut self.threads[tid];
                 let mut pending = 0u8;
-                for p in deps.iter().flatten().copied() {
-                    if p < base {
+                for p in deps {
+                    if p == NO_DEP {
                         continue;
                     }
-                    let pidx = (p - base) as usize;
-                    let outstanding = th
-                        .window
-                        .get(pidx)
-                        .is_some_and(|prod| prod.stage != Stage::Done);
+                    let outstanding = th.get(p).is_some_and(|prod| prod.stage != Stage::Done);
                     if outstanding {
                         pending += 1;
-                        th.register_waiter_at(pidx, seq, uid);
+                        th.register_waiter(p, seq, uid);
                     }
                 }
-                th.window[idx].pending_ops = pending;
+                th.at_mut(seq).pending_ops = pending;
                 if pending == 0 {
-                    self.ready[q.index()].push(Reverse((self.now, seq, tid, uid)));
+                    self.ready[q.index()].push(Reverse(ReadyEntry::new(self.now, seq, tid, uid)));
                 }
 
                 self.policy.on_dispatch(t, q, dest);
@@ -803,12 +926,12 @@ impl Simulator {
 
     fn fetch_thread(&mut self, tid: usize, mut budget: u32) -> u32 {
         let t = ThreadId::new(tid);
-        // One I-cache access per fetch block.
-        let first_pc = {
-            let th = &mut self.threads[tid];
-            let seq = th.next_fetch;
-            th.inst_at(seq).pc
-        };
+        // One I-cache access per fetch block. The block head's decoded
+        // record is kept for the first loop iteration below instead of
+        // being looked up twice.
+        let head_seq = self.threads[tid].next_fetch;
+        let head_decoded = self.threads[tid].inst_at(head_seq);
+        let first_pc = head_decoded.pc;
         let line = first_pc >> 6;
         if self.threads[tid].pending_inst_fill == Some(line) {
             // The fill requested when this block missed arrives now and is
@@ -831,12 +954,16 @@ impl Simulator {
                 break;
             }
             let seq = self.threads[tid].next_fetch;
-            let decoded = self.threads[tid].inst_at(seq);
+            let decoded = if seq == head_seq {
+                head_decoded
+            } else {
+                self.threads[tid].inst_at(seq)
+            };
             self.uid_counter += 1;
             let mut inst = DynInst::fetched(
                 seq,
                 self.uid_counter,
-                decoded,
+                &decoded,
                 self.now,
                 self.config.frontend_delay,
             );
@@ -859,8 +986,7 @@ impl Simulator {
             }
 
             let th = &mut self.threads[tid];
-            th.window.push_back(inst);
-            th.next_fetch += 1;
+            th.push_fetched(inst);
             th.pre_issue += 1;
             self.stats[tid].fetched += 1;
             budget -= 1;
@@ -877,13 +1003,13 @@ impl Simulator {
     /// all resources they hold, and rewinds fetch to `cut + 1`.
     fn squash_after(&mut self, tid: usize, cut: u64) {
         let mut squashed_ras_activity = false;
+        let notify_squashes = self.policy.wants_squash_inst();
         loop {
             let th = &mut self.threads[tid];
-            let Some(last) = th.window.back() else { break };
-            if last.seq <= cut {
+            if th.window_is_empty() || th.next_fetch - 1 <= cut {
                 break;
             }
-            let inst = th.window.pop_back().expect("checked non-empty");
+            let inst = th.pop_youngest();
             // Recycle the squashed instruction's consumer wait-list (its
             // consumers are younger, so they are being squashed too; ready
             // entries and wait-list nodes that still name this incarnation
@@ -896,17 +1022,17 @@ impl Simulator {
                 Stage::Dispatched => {
                     th.pre_issue -= 1;
                     self.rob_used -= 1;
-                    let q = inst.decoded.class.queue();
+                    let q = inst.class.queue();
                     self.iq_used[q.index()] -= 1;
                     self.usage[tid][q.resource()] -= 1;
-                    if let Some(d) = inst.decoded.dest {
+                    if let Some(d) = inst.dest {
                         self.regs_used[d.index()] -= 1;
                         self.usage[tid][d.resource()] -= 1;
                     }
                 }
                 Stage::Executing => {
                     self.rob_used -= 1;
-                    if let Some(d) = inst.decoded.dest {
+                    if let Some(d) = inst.dest {
                         self.regs_used[d.index()] -= 1;
                         self.usage[tid][d.resource()] -= 1;
                     }
@@ -920,24 +1046,27 @@ impl Simulator {
                 }
                 Stage::Done => {
                     self.rob_used -= 1;
-                    if let Some(d) = inst.decoded.dest {
+                    if let Some(d) = inst.dest {
                         self.regs_used[d.index()] -= 1;
                         self.usage[tid][d.resource()] -= 1;
                     }
                 }
             }
-            if matches!(
-                inst.decoded.branch.map(|b| b.kind),
-                Some(smt_isa::BranchKind::Call) | Some(smt_isa::BranchKind::Return)
-            ) {
+            if inst.pushes_ras {
                 squashed_ras_activity = true;
             }
-            self.policy
-                .on_squash_inst(ThreadId::new(tid), &inst.decoded);
+            // The decoded record outlives the in-flight instruction in the
+            // replay buffer (squashed instructions sit above the commit
+            // point), so the squash notification reads it from there —
+            // skipped entirely for the policies that ignore it.
+            if notify_squashes {
+                let decoded = self.threads[tid].decoded_at(inst.seq);
+                self.policy.on_squash_inst(ThreadId::new(tid), &decoded);
+            }
             self.stats[tid].squashed += 1;
         }
         let th = &mut self.threads[tid];
-        th.next_fetch = cut + 1;
+        debug_assert_eq!(th.next_fetch, cut + 1, "squash rewound past the cut");
         th.next_dispatch = th.next_dispatch.min(cut + 1);
         if th.stall_on_load.map(|l| l > cut).unwrap_or(false) {
             th.stall_on_load = None;
@@ -973,8 +1102,8 @@ impl Simulator {
             let mut pre_issue = 0u32;
             let mut l1p = 0u32;
             let mut l2p = 0u32;
-            for inst in th.window.iter() {
-                let q = inst.decoded.class.queue();
+            for inst in th.window_iter() {
+                let q = inst.class.queue();
                 match inst.stage {
                     Stage::Fetched => pre_issue += 1,
                     Stage::Dispatched => {
@@ -982,14 +1111,14 @@ impl Simulator {
                         rob += 1;
                         iq[q.index()] += 1;
                         usage[q.resource()] += 1;
-                        if let Some(d) = inst.decoded.dest {
+                        if let Some(d) = inst.dest {
                             regs[d.index()] += 1;
                             usage[d.resource()] += 1;
                         }
                     }
                     Stage::Executing => {
                         rob += 1;
-                        if let Some(d) = inst.decoded.dest {
+                        if let Some(d) = inst.dest {
                             regs[d.index()] += 1;
                             usage[d.resource()] += 1;
                         }
@@ -1002,7 +1131,7 @@ impl Simulator {
                     }
                     Stage::Done => {
                         rob += 1;
-                        if let Some(d) = inst.decoded.dest {
+                        if let Some(d) = inst.dest {
                             regs[d.index()] += 1;
                             usage[d.resource()] += 1;
                         }
@@ -1022,23 +1151,18 @@ impl Simulator {
         // outstanding-operand count matches a fresh scan, and everything
         // the scan would consider issuable sits on its queue's ready list.
         for (tid, th) in self.threads.iter().enumerate() {
-            let Some(base) = th.window_base() else {
+            if th.window_is_empty() {
                 continue;
-            };
-            for inst in th.window.iter() {
+            }
+            for inst in th.window_iter() {
                 if inst.stage != Stage::Dispatched {
                     continue;
                 }
                 let outstanding = inst
                     .deps
                     .iter()
-                    .flatten()
                     .filter(|&&p| {
-                        p >= base
-                            && th
-                                .window
-                                .get((p - base) as usize)
-                                .is_some_and(|prod| prod.stage != Stage::Done)
+                        p != NO_DEP && th.get(p).is_some_and(|prod| prod.stage != Stage::Done)
                     })
                     .count() as u8;
                 assert_eq!(
@@ -1047,16 +1171,16 @@ impl Simulator {
                     inst.seq
                 );
                 assert_eq!(
-                    self.operands_ready(tid, base, inst),
+                    self.operands_ready(tid, inst),
                     outstanding == 0,
                     "T{tid} seq {} scan/scoreboard disagreement",
                     inst.seq
                 );
                 if outstanding == 0 {
-                    let q = inst.decoded.class.queue();
-                    let listed = self.ready[q.index()]
-                        .iter()
-                        .any(|Reverse((_, s, t, u))| *s == inst.seq && *t == tid && *u == inst.uid);
+                    let q = inst.class.queue();
+                    let listed = self.ready[q.index()].iter().any(|Reverse(e)| {
+                        e.seq() == inst.seq && e.tid() == tid && e.uid == inst.uid
+                    });
                     assert!(listed, "T{tid} seq {} ready but not listed", inst.seq);
                 }
             }
@@ -1111,7 +1235,7 @@ mod tests {
     use crate::policy::RoundRobin;
     use smt_workloads::spec;
 
-    fn sim(benches: &[&str], policy: Box<dyn Policy>) -> Simulator {
+    fn sim(benches: &[&str], policy: impl Into<AnyPolicy>) -> Simulator {
         let cfg = SimConfig::baseline(benches.len());
         let profiles: Vec<_> = benches.iter().map(|b| spec::profile(b).unwrap()).collect();
         Simulator::new(cfg, &profiles, policy, 7)
@@ -1119,7 +1243,7 @@ mod tests {
 
     #[test]
     fn single_thread_makes_progress() {
-        let mut s = sim(&["gzip"], Box::new(RoundRobin::default()));
+        let mut s = sim(&["gzip"], RoundRobin::default());
         s.run_cycles(200_000);
         s.reset_stats();
         s.run_cycles(50_000);
@@ -1137,9 +1261,9 @@ mod tests {
 
     #[test]
     fn high_ilp_thread_beats_memory_bound_thread() {
-        let mut fast = sim(&["gzip"], Box::new(RoundRobin::default()));
+        let mut fast = sim(&["gzip"], RoundRobin::default());
         fast.run_cycles(150_000);
-        let mut slow = sim(&["mcf"], Box::new(RoundRobin::default()));
+        let mut slow = sim(&["mcf"], RoundRobin::default());
         slow.run_cycles(150_000);
         let (f, s) = (fast.result().throughput(), slow.result().throughput());
         assert!(f > 1.5 * s, "gzip ({f:.2}) should far outrun mcf ({s:.2})");
@@ -1147,7 +1271,7 @@ mod tests {
 
     #[test]
     fn counters_stay_consistent() {
-        let mut s = sim(&["mcf", "gzip"], Box::new(RoundRobin::default()));
+        let mut s = sim(&["mcf", "gzip"], RoundRobin::default());
         for _ in 0..200 {
             s.run_cycles(50);
             s.assert_consistent();
@@ -1157,7 +1281,7 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let run = || {
-            let mut s = sim(&["twolf", "gcc"], Box::new(RoundRobin::default()));
+            let mut s = sim(&["twolf", "gcc"], RoundRobin::default());
             s.run_cycles(15_000);
             let r = s.result();
             (r.total_committed(), r.total_fetched())
@@ -1167,7 +1291,7 @@ mod tests {
 
     #[test]
     fn reset_stats_starts_a_fresh_measurement() {
-        let mut s = sim(&["gzip"], Box::new(RoundRobin::default()));
+        let mut s = sim(&["gzip"], RoundRobin::default());
         s.run_cycles(5_000);
         s.reset_stats();
         assert_eq!(s.result().total_committed(), 0);
@@ -1179,7 +1303,7 @@ mod tests {
 
     #[test]
     fn memory_bound_thread_records_misses_and_mlp() {
-        let mut s = sim(&["art"], Box::new(RoundRobin::default()));
+        let mut s = sim(&["art"], RoundRobin::default());
         s.run_cycles(60_000);
         let r = s.result();
         assert!(r.threads[0].l2_misses > 50, "art should miss in L2");
@@ -1191,7 +1315,7 @@ mod tests {
         // Wrong-path instructions are not fetched (the thread stalls until
         // the branch resolves), so mispredictions alone do not inflate the
         // fetch count; policy flushes do (tested in smt-policies).
-        let mut s = sim(&["mcf"], Box::new(RoundRobin::default()));
+        let mut s = sim(&["mcf"], RoundRobin::default());
         s.run_cycles(30_000);
         let r = s.result();
         assert!(r.threads[0].mispredicts > 0);
@@ -1200,9 +1324,39 @@ mod tests {
 
     #[test]
     fn run_until_committed_stops_early() {
-        let mut s = sim(&["gzip"], Box::new(RoundRobin::default()));
+        let mut s = sim(&["gzip"], RoundRobin::default());
         s.run_until_committed(1_000, 1_000_000);
         assert!(s.result().threads[0].committed >= 1_000);
         assert!(s.now() < 1_000_000);
+    }
+
+    #[test]
+    fn reset_reproduces_a_fresh_simulator_bit_for_bit() {
+        let digest = |s: &Simulator| {
+            let r = s.result();
+            (
+                r.cycles,
+                r.threads.clone(),
+                s.memory().cache_stats(),
+                s.predictor().stats(),
+            )
+        };
+        // Run a first (different) workload to dirty every structure, then
+        // reset onto the reference workload and compare against a fresh
+        // simulator: identical statistics, cycle for cycle.
+        let mut reused = sim(&["mcf", "art"], RoundRobin::default());
+        reused.run_cycles(20_000);
+        let profiles = [
+            spec::profile("twolf").unwrap(),
+            spec::profile("gcc").unwrap(),
+        ];
+        reused.reset(&profiles, RoundRobin::default(), 99);
+        reused.run_cycles(20_000);
+        reused.assert_consistent();
+
+        let mut fresh =
+            Simulator::new(SimConfig::baseline(2), &profiles, RoundRobin::default(), 99);
+        fresh.run_cycles(20_000);
+        assert_eq!(digest(&reused), digest(&fresh));
     }
 }

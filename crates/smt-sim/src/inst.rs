@@ -1,6 +1,9 @@
 //! In-flight dynamic instruction state.
 
-use smt_isa::DecodedInst;
+use smt_isa::{BranchKind, DecodedInst, InstClass, RegClass};
+
+/// Sentinel for "no producer" in [`DynInst::deps`].
+pub(crate) const NO_DEP: u64 = u64::MAX;
 
 /// Pipeline stage of an in-flight instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +22,14 @@ pub(crate) enum Stage {
 }
 
 /// One in-flight instruction.
+///
+/// Deliberately compact: the window `VecDeque`s move these on every fetch,
+/// commit and squash, so the full [`DecodedInst`] is *not* embedded — only
+/// the fields the pipeline reads per stage. The decoded record itself stays
+/// in the thread's replay buffer (which outlives every in-flight
+/// instruction by construction: the buffer retires at commit, and squashed
+/// instructions are younger than the commit point), where squash
+/// notifications and re-fetches look it up.
 #[derive(Debug, Clone)]
 pub(crate) struct DynInst {
     /// Per-thread dynamic sequence number.
@@ -27,25 +38,31 @@ pub(crate) struct DynInst {
     /// reuses its `seq` but gets a fresh `uid`, so stale timing events can
     /// be recognised and dropped.
     pub uid: u64,
-    pub decoded: DecodedInst,
-    pub stage: Stage,
+    /// Program counter.
+    pub pc: u64,
+    /// Effective address for loads/stores (unused otherwise).
+    pub mem_addr: u64,
     /// Earliest cycle the instruction may be renamed (front-end depth).
     pub dispatch_eligible_at: u64,
     /// Cycle the instruction was dispatched (age for issue arbitration).
     pub dispatched_at: u64,
-    /// Cycle the result becomes available (valid once Executing).
-    pub ready_at: u64,
-    /// Absolute producer sequence numbers within the same thread.
-    pub deps: [Option<u64>; 2],
+    /// Absolute producer sequence numbers within the same thread
+    /// ([`NO_DEP`] = no producer in that slot).
+    pub deps: [u64; 2],
+    /// Head of this instruction's consumer wait-list (index into the
+    /// thread's waiter pool, [`crate::thread::NO_WAITER`] when empty).
+    /// Completion walks the list and wakes the registered consumers.
+    pub waiters_head: u32,
+    /// Functional class.
+    pub class: InstClass,
+    /// Register class written, if any.
+    pub dest: Option<RegClass>,
+    pub stage: Stage,
     /// Wakeup scoreboard: number of source operands still outstanding.
     /// Counted at dispatch; decremented by producers as they complete.
     /// Valid only while `Dispatched` — the instruction joins its queue's
     /// ready list the moment this reaches zero.
     pub pending_ops: u8,
-    /// Head of this instruction's consumer wait-list (index into the
-    /// thread's waiter pool, [`crate::thread::NO_WAITER`] when empty).
-    /// Completion walks the list and wakes the registered consumers.
-    pub waiters_head: u32,
     /// Fetch-time branch misprediction (squash when the branch resolves).
     pub mispredicted: bool,
     /// The load missed the L1 data cache.
@@ -55,38 +72,85 @@ pub(crate) struct DynInst {
     /// The L2 miss has been detected (one L2 latency after issue) and is
     /// counted in the thread's pending-L2 counter.
     pub l2_detected: bool,
+    /// The instruction is a call or return (squashing one clears the RAS).
+    pub pushes_ras: bool,
 }
 
 impl DynInst {
-    /// Creates a freshly fetched instruction.
-    pub fn fetched(
-        seq: u64,
-        uid: u64,
-        decoded: DecodedInst,
-        now: u64,
-        frontend_delay: u32,
-    ) -> Self {
-        let deps = decoded.deps().map(|d| {
-            d.and_then(|dist| {
-                let dist = u64::from(dist);
-                (dist <= seq).then(|| seq - dist)
-            })
-        });
+    /// An inert filler for unoccupied ring slots — never observable: every
+    /// ring lookup is bounds-guarded by the live `[base, tip)` range.
+    pub fn placeholder() -> Self {
         DynInst {
-            seq,
-            uid,
-            decoded,
-            stage: Stage::Fetched,
-            dispatch_eligible_at: now + u64::from(frontend_delay),
+            seq: u64::MAX,
+            uid: 0,
+            pc: 0,
+            mem_addr: 0,
+            dispatch_eligible_at: 0,
             dispatched_at: 0,
-            ready_at: 0,
-            deps,
-            pending_ops: 0,
+            deps: [NO_DEP; 2],
             waiters_head: crate::thread::NO_WAITER,
+            class: InstClass::IntAlu,
+            dest: None,
+            stage: Stage::Done,
+            pending_ops: 0,
             mispredicted: false,
             l1_miss: false,
             l2_miss: false,
             l2_detected: false,
+            pushes_ras: false,
+        }
+    }
+
+    /// Creates a freshly fetched instruction from its decoded record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a load or store arrives without a memory access.
+    pub fn fetched(
+        seq: u64,
+        uid: u64,
+        decoded: &DecodedInst,
+        now: u64,
+        frontend_delay: u32,
+    ) -> Self {
+        let deps = decoded.deps().map(|d| match d {
+            Some(dist) => {
+                let dist = u64::from(dist);
+                if dist <= seq {
+                    seq - dist
+                } else {
+                    NO_DEP
+                }
+            }
+            None => NO_DEP,
+        });
+        let mem_addr = match decoded.class {
+            InstClass::Load | InstClass::Store => {
+                decoded.mem.expect("load/store without address").addr
+            }
+            _ => 0,
+        };
+        DynInst {
+            seq,
+            uid,
+            pc: decoded.pc,
+            mem_addr,
+            dispatch_eligible_at: now + u64::from(frontend_delay),
+            dispatched_at: 0,
+            deps,
+            waiters_head: crate::thread::NO_WAITER,
+            class: decoded.class,
+            dest: decoded.dest,
+            stage: Stage::Fetched,
+            pending_ops: 0,
+            mispredicted: false,
+            l1_miss: false,
+            l2_miss: false,
+            l2_detected: false,
+            pushes_ras: matches!(
+                decoded.branch.map(|b| b.kind),
+                Some(BranchKind::Call) | Some(BranchKind::Return)
+            ),
         }
     }
 }
@@ -94,7 +158,6 @@ impl DynInst {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smt_isa::{InstClass, RegClass};
 
     #[test]
     fn deps_resolve_to_absolute_seqs() {
@@ -103,19 +166,30 @@ mod tests {
             .dep(3)
             .dep(10)
             .build();
-        let i = DynInst::fetched(20, 1, d, 5, 4);
-        assert_eq!(i.deps, [Some(17), Some(10)]);
+        let i = DynInst::fetched(20, 1, &d, 5, 4);
+        assert_eq!(i.deps, [17, 10]);
         assert_eq!(i.dispatch_eligible_at, 9);
     }
 
     #[test]
     fn deps_before_stream_start_are_dropped() {
         let d = DecodedInst::builder(InstClass::IntAlu, 0).dep(5).build();
-        let i = DynInst::fetched(3, 1, d, 0, 0);
+        let i = DynInst::fetched(3, 1, &d, 0, 0);
         assert_eq!(
             i.deps,
-            [None, None],
+            [NO_DEP, NO_DEP],
             "distance beyond seq 0 has no producer"
+        );
+    }
+
+    #[test]
+    fn stays_compact() {
+        // The whole point of not embedding DecodedInst: window moves are
+        // the simulator's dominant memory traffic.
+        assert!(
+            std::mem::size_of::<DynInst>() <= 88,
+            "DynInst grew to {} bytes",
+            std::mem::size_of::<DynInst>()
         );
     }
 }

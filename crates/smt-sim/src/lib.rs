@@ -29,7 +29,7 @@
 //! let mut sim = Simulator::new(
 //!     SimConfig::baseline(2),
 //!     &profiles,
-//!     Box::new(RoundRobin::default()),
+//!     RoundRobin::default(),
 //!     1,
 //! );
 //! sim.run_cycles(10_000);

@@ -1,177 +1,240 @@
-//! The resource-allocation / fetch-policy interface.
+//! The policy interface re-exported from `smt-policy-core`, plus the
+//! statically-dispatched [`AnyPolicy`] the simulator's cycle loop runs.
 //!
-//! The simulator consults a [`Policy`] at three points every cycle —
-//! fetch ordering, fetch gating, dispatch gating — and notifies it of the
-//! events the paper's policies key on (dispatch-time allocation, L1 data
-//! misses, L2 miss detection, miss service). Instruction-fetch policies
-//! (ICOUNT, STALL, FLUSH, DG, PDG, FLUSH++) use only the gates and events;
-//! *allocation* policies (SRA, DCRA) additionally use the per-thread
-//! resource-usage counters in the [`CycleView`] — exactly the distinction
-//! Section 3.3 of the paper draws.
+//! The trait and the per-cycle views live in the `smt-policy-core` crate
+//! (below the concrete policy crates in the dependency graph); this module
+//! remains the canonical import path. The simulator itself stores an
+//! [`AnyPolicy`]: an enum over the nine concrete policies of the paper's
+//! evaluation, so the ~20 policy callbacks per cycle are direct (inlineable)
+//! calls instead of virtual dispatch through a `Box<dyn Policy>`. Policies
+//! outside the canonical nine still plug in through the
+//! [`AnyPolicy::Boxed`] escape hatch.
 
-use smt_isa::{DecodedInst, PerResource, QueueKind, RegClass, ThreadId};
+pub use smt_policy_core::{CycleView, MissResponse, Policy, RoundRobin, ThreadView};
+
+use smt_isa::{DecodedInst, QueueKind, RegClass, ThreadId};
 use smt_mem::HitLevel;
 
-/// Per-thread state visible to policies each cycle.
+/// The nine canonical policies of the paper's evaluation, dispatched
+/// statically, plus a boxed escape hatch for external [`Policy`]
+/// implementations.
 ///
-/// These correspond to the hardware counters of Section 3.4: per-thread
-/// queue/register occupancy and the pending-L1-miss counter, plus the
-/// ICOUNT-style pre-issue instruction count that fetch policies use.
-#[derive(Debug, Clone, Default)]
-pub struct ThreadView {
-    /// Instructions in pre-issue stages (fetch queue + issue queues).
-    pub icount: u32,
-    /// Currently allocated entries of each controlled resource.
-    pub usage: PerResource<u32>,
-    /// Loads with an outstanding L1 data miss.
-    pub l1d_pending: u32,
-    /// Loads with a *detected* outstanding L2 miss (detection lags the
-    /// access by the L2 latency, as in the paper's STALL discussion).
-    pub l2_pending: u32,
-    /// Instructions committed so far.
-    pub committed: u64,
-    /// Data-cache accesses and L2 misses so far (for FLUSH++'s workload
-    /// pressure heuristic).
-    pub l2_misses: u64,
-    /// Loads executed so far.
-    pub loads: u64,
+/// Every [`Policy`] callback fans out through a single `match`, so in the
+/// release build the concrete policy code inlines straight into the
+/// simulator's cycle loop — no virtual calls on the hot path.
+///
+/// # Examples
+///
+/// ```
+/// use smt_sim::policy::{AnyPolicy, Policy};
+///
+/// let p = AnyPolicy::from(smt_policies::Icount);
+/// assert_eq!(p.name(), "ICOUNT");
+/// // External policies use the boxed escape hatch.
+/// let boxed: Box<dyn Policy> = Box::new(smt_sim::policy::RoundRobin::default());
+/// assert_eq!(AnyPolicy::from(boxed).name(), "RR");
+/// ```
+pub enum AnyPolicy {
+    /// ROUND-ROBIN fetch.
+    RoundRobin(RoundRobin),
+    /// ICOUNT fetch (Tullsen et al.).
+    Icount(smt_policies::Icount),
+    /// STALL (ICOUNT + stall on detected L2 miss).
+    Stall(smt_policies::Stall),
+    /// FLUSH (ICOUNT + flush on detected L2 miss).
+    Flush(smt_policies::Flush),
+    /// FLUSH++ (adaptive STALL/FLUSH).
+    FlushPlusPlus(smt_policies::FlushPlusPlus),
+    /// Data Gating (stall on pending L1 data miss).
+    DataGating(smt_policies::DataGating),
+    /// Predictive Data Gating.
+    PredictiveDataGating(smt_policies::PredictiveDataGating),
+    /// Static even partitioning (SRA), capped or not.
+    Sra(smt_policies::StaticAllocation),
+    /// The paper's proposal.
+    Dcra(dcra::Dcra),
+    /// Escape hatch: any other [`Policy`] implementation, dynamically
+    /// dispatched as before.
+    Boxed(Box<dyn Policy>),
 }
 
-/// Machine-wide state visible to policies each cycle.
-///
-/// The simulator owns long-lived `CycleView` buffers and refreshes them in
-/// place each cycle (no per-cycle allocation); policies only ever see a
-/// shared reference.
-#[derive(Debug, Clone, Default)]
-pub struct CycleView {
-    /// Current cycle.
-    pub now: u64,
-    /// Per-thread state, indexed by [`ThreadId::index`].
-    pub threads: Vec<ThreadView>,
-    /// Total entries of each controlled resource.
-    pub totals: PerResource<u32>,
+/// Fans a callback out to the concrete policy. The `Boxed` arm auto-derefs,
+/// so the same expression serves all ten variants.
+macro_rules! fan_out {
+    ($self:ident, $p:ident => $call:expr) => {
+        match $self {
+            AnyPolicy::RoundRobin($p) => $call,
+            AnyPolicy::Icount($p) => $call,
+            AnyPolicy::Stall($p) => $call,
+            AnyPolicy::Flush($p) => $call,
+            AnyPolicy::FlushPlusPlus($p) => $call,
+            AnyPolicy::DataGating($p) => $call,
+            AnyPolicy::PredictiveDataGating($p) => $call,
+            AnyPolicy::Sra($p) => $call,
+            AnyPolicy::Dcra($p) => $call,
+            AnyPolicy::Boxed($p) => $call,
+        }
+    };
 }
 
-impl CycleView {
-    /// Convenience accessor.
-    pub fn thread(&self, t: ThreadId) -> &ThreadView {
-        &self.threads[t.index()]
+impl Policy for AnyPolicy {
+    #[inline]
+    fn name(&self) -> &str {
+        fan_out!(self, p => p.name())
     }
 
-    /// Number of hardware threads.
-    pub fn thread_count(&self) -> usize {
-        self.threads.len()
-    }
-}
-
-/// Reaction to a detected L2 miss (Tullsen & Brown's STALL vs FLUSH).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MissResponse {
-    /// Do nothing special.
-    Continue,
-    /// Stop fetching from the thread until the miss is serviced.
-    Stall,
-    /// Squash every instruction of the thread younger than the missing load
-    /// and stall fetch until the miss is serviced.
-    Flush,
-}
-
-/// A fetch/resource-allocation policy.
-///
-/// Implementations must be deterministic: the simulator is fully
-/// reproducible for a given seed and the experiments depend on it.
-pub trait Policy {
-    /// Short name used in reports (e.g. `"DCRA"`, `"FLUSH++"`).
-    fn name(&self) -> &str;
-
-    /// Called once at the start of every cycle, before any stage runs.
-    fn begin_cycle(&mut self, _view: &CycleView) {}
-
-    /// Appends the threads in fetch-priority order (best first) to
-    /// `order`. Threads omitted are not fetched this cycle.
-    ///
-    /// The buffer arrives cleared and is reused by the simulator across
-    /// cycles, so implementations stay allocation-free in steady state.
-    fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>);
-
-    /// `true` if thread `t` may fetch this cycle. Called only for threads
-    /// in the fetch order. This is the *response action* of stalling
-    /// policies (STALL, DG, PDG) and the enforcement point of DCRA.
-    fn fetch_gate(&mut self, _t: ThreadId, _view: &CycleView) -> bool {
-        true
+    #[inline]
+    fn begin_cycle(&mut self, view: &CycleView) {
+        fan_out!(self, p => p.begin_cycle(view))
     }
 
-    /// `true` if thread `t` may dispatch (rename) an instruction occupying
-    /// `queue` and optionally a `dest` rename register. Hard-partition
-    /// policies (SRA) enforce their limits here.
+    #[inline]
+    fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>) {
+        fan_out!(self, p => p.fetch_order(view, order))
+    }
+
+    #[inline]
+    fn fetch_gate(&mut self, t: ThreadId, view: &CycleView) -> bool {
+        fan_out!(self, p => p.fetch_gate(t, view))
+    }
+
+    #[inline]
     fn may_dispatch(
         &self,
-        _t: ThreadId,
-        _queue: QueueKind,
-        _dest: Option<RegClass>,
-        _view: &CycleView,
+        t: ThreadId,
+        queue: QueueKind,
+        dest: Option<RegClass>,
+        view: &CycleView,
     ) -> bool {
-        true
+        fan_out!(self, p => p.may_dispatch(t, queue, dest, view))
     }
 
-    /// Notification: thread `t` fetched `inst` (PDG trains its miss
-    /// predictor here).
-    fn on_fetch_inst(&mut self, _t: ThreadId, _inst: &DecodedInst) {}
-
-    /// Notification: thread `t` dispatched an instruction into `queue`,
-    /// allocating a `dest`-class rename register if `Some` (DCRA resets its
-    /// activity counters here).
-    fn on_dispatch(&mut self, _t: ThreadId, _queue: QueueKind, _dest: Option<RegClass>) {}
-
-    /// Notification: a load of thread `t` at `pc` missed in the L1 data
-    /// cache (DG/PDG input).
-    fn on_l1d_miss(&mut self, _t: ThreadId, _pc: u64) {}
-
-    /// A load of thread `t` has been *detected* to miss in the L2 (the
-    /// detection happens one L2 latency after issue). The returned
-    /// [`MissResponse`] is applied by the simulator.
-    fn on_l2_miss_detected(&mut self, _t: ThreadId, _view: &CycleView) -> MissResponse {
-        MissResponse::Continue
+    #[inline]
+    fn on_fetch_inst(&mut self, t: ThreadId, inst: &DecodedInst) {
+        fan_out!(self, p => p.on_fetch_inst(t, inst))
     }
 
-    /// Notification: an outstanding miss of thread `t` was serviced.
-    /// `level` is the deepest level the miss went to.
-    fn on_miss_resolved(&mut self, _t: ThreadId, _pc: u64, _level: HitLevel) {}
+    #[inline]
+    fn on_dispatch(&mut self, t: ThreadId, queue: QueueKind, dest: Option<RegClass>) {
+        fan_out!(self, p => p.on_dispatch(t, queue, dest))
+    }
 
-    /// Notification: a load of thread `t` completed. `l1_missed` reports
-    /// whether it had missed the L1 (PDG trains and releases its gate
-    /// here, covering loads its predictor flagged that actually hit).
-    fn on_load_complete(&mut self, _t: ThreadId, _pc: u64, _l1_missed: bool) {}
+    #[inline]
+    fn on_l1d_miss(&mut self, t: ThreadId, pc: u64) {
+        fan_out!(self, p => p.on_l1d_miss(t, pc))
+    }
 
-    /// Notification: an in-flight instruction of thread `t` was squashed
-    /// (branch misprediction or policy flush). Lets stateful policies
-    /// release bookkeeping tied to the instruction.
-    fn on_squash_inst(&mut self, _t: ThreadId, _inst: &DecodedInst) {}
+    #[inline]
+    fn on_l2_miss_detected(&mut self, t: ThreadId, view: &CycleView) -> MissResponse {
+        fan_out!(self, p => p.on_l2_miss_detected(t, view))
+    }
+
+    #[inline]
+    fn on_miss_resolved(&mut self, t: ThreadId, pc: u64, level: HitLevel) {
+        fan_out!(self, p => p.on_miss_resolved(t, pc, level))
+    }
+
+    #[inline]
+    fn on_load_complete(&mut self, t: ThreadId, pc: u64, l1_missed: bool) {
+        fan_out!(self, p => p.on_load_complete(t, pc, l1_missed))
+    }
+
+    #[inline]
+    fn on_squash_inst(&mut self, t: ThreadId, inst: &DecodedInst) {
+        fan_out!(self, p => p.on_squash_inst(t, inst))
+    }
+
+    #[inline]
+    fn wants_squash_inst(&self) -> bool {
+        match self {
+            // External policies may consume the notification without
+            // having overridden the hint; always deliver for them.
+            AnyPolicy::Boxed(_) => true,
+            _ => fan_out!(self, p => p.wants_squash_inst()),
+        }
+    }
+
+    #[inline]
+    fn wants_dispatch_view(&self) -> bool {
+        match self {
+            // External policies may read the view without having
+            // overridden the hint; always refresh for them.
+            AnyPolicy::Boxed(_) => true,
+            _ => fan_out!(self, p => p.wants_dispatch_view()),
+        }
+    }
 }
 
-/// Round-robin over runnable threads — the simplest possible fetch order,
-/// used as the default and as the paper's ROUND-ROBIN baseline.
-#[derive(Debug, Clone, Default)]
-pub struct RoundRobin {
-    start: usize,
+impl std::fmt::Debug for AnyPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AnyPolicy({})", self.name())
+    }
 }
 
-impl Policy for RoundRobin {
-    fn name(&self) -> &str {
-        "RR"
+impl From<RoundRobin> for AnyPolicy {
+    fn from(p: RoundRobin) -> Self {
+        AnyPolicy::RoundRobin(p)
     }
+}
 
-    fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>) {
-        let n = view.thread_count();
-        let start = self.start;
-        self.start = (self.start + 1) % n.max(1);
-        order.extend((0..n).map(|i| ThreadId::new((start + i) % n)));
+impl From<smt_policies::Icount> for AnyPolicy {
+    fn from(p: smt_policies::Icount) -> Self {
+        AnyPolicy::Icount(p)
+    }
+}
+
+impl From<smt_policies::Stall> for AnyPolicy {
+    fn from(p: smt_policies::Stall) -> Self {
+        AnyPolicy::Stall(p)
+    }
+}
+
+impl From<smt_policies::Flush> for AnyPolicy {
+    fn from(p: smt_policies::Flush) -> Self {
+        AnyPolicy::Flush(p)
+    }
+}
+
+impl From<smt_policies::FlushPlusPlus> for AnyPolicy {
+    fn from(p: smt_policies::FlushPlusPlus) -> Self {
+        AnyPolicy::FlushPlusPlus(p)
+    }
+}
+
+impl From<smt_policies::DataGating> for AnyPolicy {
+    fn from(p: smt_policies::DataGating) -> Self {
+        AnyPolicy::DataGating(p)
+    }
+}
+
+impl From<smt_policies::PredictiveDataGating> for AnyPolicy {
+    fn from(p: smt_policies::PredictiveDataGating) -> Self {
+        AnyPolicy::PredictiveDataGating(p)
+    }
+}
+
+impl From<smt_policies::StaticAllocation> for AnyPolicy {
+    fn from(p: smt_policies::StaticAllocation) -> Self {
+        AnyPolicy::Sra(p)
+    }
+}
+
+impl From<dcra::Dcra> for AnyPolicy {
+    fn from(p: dcra::Dcra) -> Self {
+        AnyPolicy::Dcra(p)
+    }
+}
+
+impl From<Box<dyn Policy>> for AnyPolicy {
+    fn from(p: Box<dyn Policy>) -> Self {
+        AnyPolicy::Boxed(p)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smt_isa::PerResource;
 
     fn view(n: usize) -> CycleView {
         CycleView {
@@ -182,27 +245,52 @@ mod tests {
     }
 
     #[test]
-    fn round_robin_rotates() {
-        let mut rr = RoundRobin::default();
-        let v = view(3);
-        let mut a = Vec::new();
-        let mut b = Vec::new();
-        rr.fetch_order(&v, &mut a);
-        rr.fetch_order(&v, &mut b);
-        assert_eq!(a[0].index(), 0);
-        assert_eq!(b[0].index(), 1);
-        assert_eq!(a.len(), 3);
+    fn variants_report_their_policy_name() {
+        let cases: Vec<(AnyPolicy, &str)> = vec![
+            (RoundRobin::default().into(), "RR"),
+            (smt_policies::Icount.into(), "ICOUNT"),
+            (smt_policies::Stall.into(), "STALL"),
+            (smt_policies::Flush.into(), "FLUSH"),
+            (smt_policies::FlushPlusPlus::default().into(), "FLUSH++"),
+            (smt_policies::DataGating.into(), "DG"),
+            (smt_policies::PredictiveDataGating::default().into(), "PDG"),
+            (smt_policies::StaticAllocation::new().into(), "SRA"),
+            (dcra::Dcra::default().into(), "DCRA"),
+        ];
+        for (p, name) in cases {
+            assert_eq!(p.name(), name);
+        }
     }
 
     #[test]
-    fn default_gates_are_open() {
-        let mut rr = RoundRobin::default();
-        let v = view(2);
-        assert!(rr.fetch_gate(ThreadId::new(0), &v));
-        assert!(rr.may_dispatch(ThreadId::new(0), QueueKind::Int, Some(RegClass::Int), &v));
-        assert_eq!(
-            rr.on_l2_miss_detected(ThreadId::new(0), &v),
-            MissResponse::Continue
-        );
+    fn enum_dispatch_matches_boxed_dispatch() {
+        // The same policy driven through the static and the boxed paths
+        // must order threads identically.
+        let v = view(3);
+        let mut fast: AnyPolicy = smt_policies::Icount.into();
+        let mut slow: AnyPolicy = AnyPolicy::Boxed(Box::new(smt_policies::Icount));
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        fast.fetch_order(&v, &mut a);
+        slow.fetch_order(&v, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(fast.name(), slow.name());
+    }
+
+    #[test]
+    fn boxed_escape_hatch_runs_external_policies() {
+        struct Greedy;
+        impl Policy for Greedy {
+            fn name(&self) -> &str {
+                "GREEDY"
+            }
+            fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>) {
+                order.extend((0..view.thread_count()).map(ThreadId::new));
+            }
+        }
+        let mut p = AnyPolicy::from(Box::new(Greedy) as Box<dyn Policy>);
+        assert_eq!(p.name(), "GREEDY");
+        let mut order = Vec::new();
+        p.fetch_order(&view(2), &mut order);
+        assert_eq!(order.len(), 2);
     }
 }

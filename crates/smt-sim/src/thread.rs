@@ -3,7 +3,6 @@
 use crate::inst::DynInst;
 use smt_isa::DecodedInst;
 use smt_workloads::TraceGenerator;
-use std::collections::VecDeque;
 
 /// Sentinel for "no waiter node" in the per-thread wakeup pool.
 pub(crate) const NO_WAITER: u32 = u32::MAX;
@@ -21,18 +20,35 @@ pub(crate) struct Waiter {
 /// State of one hardware context: its trace generator with a replay buffer
 /// (squashed instructions are re-fetched, and must decode identically), the
 /// in-flight instruction window and the thread's blocking conditions.
+///
+/// Both the instruction window and the replay buffer are power-of-two
+/// *sequence-indexed rings*: element `seq` lives at slot `seq & mask`,
+/// so every hot-path lookup is one mask and one indexed load — no
+/// front-pointer chasing, no base subtraction, no `VecDeque` two-slice
+/// arithmetic. Capacities are fixed at construction from the machine's
+/// ROB and fetch-queue bounds (the window can never hold more than
+/// `rob_entries + fetch_queue` instructions, and the replay buffer never
+/// retains more than the window span), so the rings never grow.
 #[derive(Debug)]
 pub(crate) struct ThreadState {
     gen: TraceGenerator,
-    /// Decoded instructions for sequence numbers `buffer_base ..`.
-    buffer: VecDeque<DecodedInst>,
+    /// Ring of decoded records for seqs `[buffer_base, buffer_tip)`.
+    buffer: Vec<DecodedInst>,
+    buf_mask: u64,
+    /// Oldest retained decoded seq.
     buffer_base: u64,
-    /// Next sequence number to fetch (rewinds on squash).
+    /// One past the newest generated seq.
+    buffer_tip: u64,
+    /// Next sequence number to fetch (rewinds on squash). The in-flight
+    /// window spans `[win_base, next_fetch)`.
     pub next_fetch: u64,
     /// Next sequence number to dispatch, always ≥ the window base.
     pub next_dispatch: u64,
-    /// In-flight instructions, contiguous by `seq`.
-    pub window: VecDeque<DynInst>,
+    /// Ring of in-flight instructions for seqs `[win_base, next_fetch)`.
+    window: Vec<DynInst>,
+    win_mask: u64,
+    /// Oldest in-flight seq (the commit point).
+    win_base: u64,
     /// I-cache miss or fetch-redirect bubble: no fetch until this cycle.
     pub icache_stall_until: u64,
     /// Line address of an in-flight instruction-cache fill. When the stall
@@ -54,14 +70,21 @@ pub(crate) struct ThreadState {
 }
 
 impl ThreadState {
-    pub fn new(gen: TraceGenerator) -> Self {
+    /// Builds a thread whose window can hold `window_span` in-flight
+    /// instructions (`rob_entries + fetch_queue` for the machine at hand).
+    pub fn new(gen: TraceGenerator, window_span: usize) -> Self {
+        let cap = (window_span + 1).next_power_of_two();
         ThreadState {
             gen,
-            buffer: VecDeque::new(),
+            buffer: vec![DecodedInst::placeholder(); cap],
+            buf_mask: cap as u64 - 1,
             buffer_base: 0,
+            buffer_tip: 0,
             next_fetch: 0,
             next_dispatch: 0,
-            window: VecDeque::new(),
+            window: vec![DynInst::placeholder(); cap],
+            win_mask: cap as u64 - 1,
+            win_base: 0,
             icache_stall_until: 0,
             pending_inst_fill: None,
             stall_on_load: None,
@@ -73,22 +96,122 @@ impl ThreadState {
         }
     }
 
+    /// Re-initialises the thread for a fresh run on a new trace, keeping
+    /// the ring and waiter-pool allocations. State after the call is
+    /// indistinguishable from [`ThreadState::new`] with the same generator
+    /// (stale ring slots are unreachable: every lookup is bounds-guarded
+    /// by `[base, tip)`, and slots are always written before re-entering
+    /// the live range).
+    pub fn reset(&mut self, gen: TraceGenerator) {
+        self.gen = gen;
+        self.buffer_base = 0;
+        self.buffer_tip = 0;
+        self.next_fetch = 0;
+        self.next_dispatch = 0;
+        self.win_base = 0;
+        self.icache_stall_until = 0;
+        self.pending_inst_fill = None;
+        self.stall_on_load = None;
+        self.pre_issue = 0;
+        self.l1d_pending = 0;
+        self.l2_pending = 0;
+        self.waiter_pool.clear();
+        self.free_waiter_head = NO_WAITER;
+    }
+
+    // -------------------------------------------------------------- window
+
+    /// Sequence number of the oldest in-flight instruction.
+    #[inline]
+    pub fn window_base(&self) -> Option<u64> {
+        (self.win_base < self.next_fetch).then_some(self.win_base)
+    }
+
+    /// `true` when no instructions are in flight.
+    #[inline]
+    pub fn window_is_empty(&self) -> bool {
+        self.win_base == self.next_fetch
+    }
+
+    /// Number of in-flight instructions.
+    #[inline]
+    pub fn window_len(&self) -> usize {
+        (self.next_fetch - self.win_base) as usize
+    }
+
+    /// Direct slot access for a seq known to be in flight.
+    #[inline]
+    pub fn at(&self, seq: u64) -> &DynInst {
+        debug_assert!(self.win_base <= seq && seq < self.next_fetch);
+        &self.window[(seq & self.win_mask) as usize]
+    }
+
+    /// Mutable direct slot access for a seq known to be in flight.
+    #[inline]
+    pub fn at_mut(&mut self, seq: u64) -> &mut DynInst {
+        debug_assert!(self.win_base <= seq && seq < self.next_fetch);
+        &mut self.window[(seq & self.win_mask) as usize]
+    }
+
+    /// Looks up an in-flight instruction by sequence number.
+    #[inline]
+    pub fn get(&self, seq: u64) -> Option<&DynInst> {
+        (self.win_base <= seq && seq < self.next_fetch)
+            .then(|| &self.window[(seq & self.win_mask) as usize])
+    }
+
+    /// Mutable lookup by sequence number.
+    #[inline]
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut DynInst> {
+        (self.win_base <= seq && seq < self.next_fetch)
+            .then(|| &mut self.window[(seq & self.win_mask) as usize])
+    }
+
+    /// Appends a freshly fetched instruction (its `seq` must be
+    /// `next_fetch`) and advances the fetch tip.
+    #[inline]
+    pub fn push_fetched(&mut self, inst: DynInst) {
+        debug_assert_eq!(inst.seq, self.next_fetch);
+        debug_assert!(self.window_len() < self.window.len(), "window ring full");
+        let slot = (inst.seq & self.win_mask) as usize;
+        self.window[slot] = inst;
+        self.next_fetch += 1;
+    }
+
+    /// Advances the commit point past the oldest in-flight instruction
+    /// (which the caller has just retired).
+    #[inline]
+    pub fn advance_base(&mut self) {
+        debug_assert!(!self.window_is_empty());
+        self.win_base += 1;
+    }
+
+    /// Iterates the in-flight instructions oldest-first (diagnostics).
+    pub fn window_iter(&self) -> impl Iterator<Item = &DynInst> {
+        (self.win_base..self.next_fetch).map(|s| &self.window[(s & self.win_mask) as usize])
+    }
+
+    /// Drops the youngest in-flight instruction (squash path) and returns
+    /// a copy of it. The fetch tip moves down; the caller rewinds
+    /// `next_fetch`/`next_dispatch` bookkeeping itself.
+    #[inline]
+    pub fn pop_youngest(&mut self) -> DynInst {
+        debug_assert!(!self.window_is_empty());
+        self.next_fetch -= 1;
+        self.window[(self.next_fetch & self.win_mask) as usize].clone()
+    }
+
     // ------------------------------------------------------- wakeup waiters
 
     /// Registers `(consumer_seq, consumer_uid)` on the wait-list of the
-    /// in-flight producer in window slot `producer_idx` (the dispatch loop
-    /// resolves the window base once per instruction). The producer's
-    /// completion (or squash) releases the node.
-    pub fn register_waiter_at(
-        &mut self,
-        producer_idx: usize,
-        consumer_seq: u64,
-        consumer_uid: u64,
-    ) {
+    /// in-flight producer `producer_seq`. The producer's completion (or
+    /// squash) releases the node.
+    pub fn register_waiter(&mut self, producer_seq: u64, consumer_seq: u64, consumer_uid: u64) {
+        let head = self.at(producer_seq).waiters_head;
         let node = Waiter {
             seq: consumer_seq,
             uid: consumer_uid,
-            next: self.window[producer_idx].waiters_head,
+            next: head,
         };
         let idx = if self.free_waiter_head != NO_WAITER {
             let idx = self.free_waiter_head;
@@ -100,14 +223,14 @@ impl ThreadState {
             self.waiter_pool.push(node);
             idx
         };
-        self.window[producer_idx].waiters_head = idx;
+        self.at_mut(producer_seq).waiters_head = idx;
     }
 
-    /// Detaches and returns the wait-list head of the producer in window
-    /// slot `idx` (leaving the producer's list empty). Walk it with
+    /// Detaches and returns the wait-list head of the in-flight producer
+    /// `seq` (leaving the producer's list empty). Walk it with
     /// [`Self::take_waiter`].
-    pub fn detach_waiters_at(&mut self, idx: usize) -> u32 {
-        std::mem::replace(&mut self.window[idx].waiters_head, NO_WAITER)
+    pub fn detach_waiters(&mut self, seq: u64) -> u32 {
+        std::mem::replace(&mut self.at_mut(seq).waiters_head, NO_WAITER)
     }
 
     /// Consumes one node of a detached wait-list: recycles it into the
@@ -128,63 +251,48 @@ impl ThreadState {
         }
     }
 
+    // -------------------------------------------------------- replay buffer
+
     /// The decoded instruction at `seq`, generating forward as needed.
     /// Re-fetching a squashed sequence number returns the identical record.
     #[inline]
     pub fn inst_at(&mut self, seq: u64) -> DecodedInst {
         debug_assert!(seq >= self.buffer_base, "instruction already retired");
-        while self.buffer_base + self.buffer.len() as u64 <= seq {
+        while self.buffer_tip <= seq {
+            debug_assert!(
+                self.buffer_tip - self.buffer_base <= self.buf_mask,
+                "replay ring full"
+            );
             let inst = self.gen.next_inst();
-            self.buffer.push_back(inst);
+            self.buffer[(self.buffer_tip & self.buf_mask) as usize] = inst;
+            self.buffer_tip += 1;
         }
-        self.buffer[(seq - self.buffer_base) as usize]
+        self.buffer[(seq & self.buf_mask) as usize]
     }
 
-    /// Drops replay entries up to and including `seq` (called at commit):
-    /// one bulk `drain` plus a `buffer_base` jump, not an entry-at-a-time
-    /// pop loop. Retiring past the buffered range (a gap) simply empties
-    /// the buffer.
+    /// The decoded record of an instruction still in the replay buffer
+    /// (anything at or above the commit point — in particular every
+    /// in-flight or just-squashed instruction).
+    #[inline]
+    pub fn decoded_at(&self, seq: u64) -> DecodedInst {
+        debug_assert!(
+            seq >= self.buffer_base && seq < self.buffer_tip,
+            "decoded record not resident (seq {seq}, [{}, {}))",
+            self.buffer_base,
+            self.buffer_tip
+        );
+        self.buffer[(seq & self.buf_mask) as usize]
+    }
+
+    /// Drops replay entries up to and including `seq` (called at commit).
+    /// Retiring past the generated range (a gap) simply empties the
+    /// buffer; the stream continues from the generation tip.
+    #[inline]
     pub fn retire_buffer(&mut self, seq: u64) {
         if seq < self.buffer_base {
             return;
         }
-        let n = usize::try_from(seq + 1 - self.buffer_base)
-            .unwrap_or(usize::MAX)
-            .min(self.buffer.len());
-        if n == 1 {
-            // In-order commit retires one entry at a time; skip the
-            // drain-iterator machinery on that hot path.
-            self.buffer.pop_front();
-        } else {
-            self.buffer.drain(..n);
-        }
-        self.buffer_base += n as u64;
-    }
-
-    /// Sequence number of the oldest in-flight instruction.
-    #[inline]
-    pub fn window_base(&self) -> Option<u64> {
-        self.window.front().map(|i| i.seq)
-    }
-
-    /// Looks up an in-flight instruction by sequence number.
-    #[inline]
-    pub fn get(&self, seq: u64) -> Option<&DynInst> {
-        let base = self.window_base()?;
-        if seq < base {
-            return None;
-        }
-        self.window.get((seq - base) as usize)
-    }
-
-    /// Mutable lookup by sequence number.
-    #[inline]
-    pub fn get_mut(&mut self, seq: u64) -> Option<&mut DynInst> {
-        let base = self.window_base()?;
-        if seq < base {
-            return None;
-        }
-        self.window.get_mut((seq - base) as usize)
+        self.buffer_base = (seq + 1).min(self.buffer_tip);
     }
 
     /// Number of instructions currently in the fetch queue (stage Fetched).
@@ -198,16 +306,27 @@ impl ThreadState {
     pub fn generator(&self) -> &TraceGenerator {
         &self.gen
     }
+
+    /// Test hook: number of live replay-buffer entries.
+    #[cfg(test)]
+    fn buffer_len(&self) -> usize {
+        (self.buffer_tip - self.buffer_base) as usize
+    }
+
+    /// Test hook: oldest retained decoded seq.
+    #[cfg(test)]
+    fn buffer_base(&self) -> u64 {
+        self.buffer_base
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smt_workloads::{spec, TraceGenerator};
 
     fn thread() -> ThreadState {
-        let p = spec::profile("gzip").unwrap();
-        ThreadState::new(TraceGenerator::new(p, 1, 0))
+        let p = smt_workloads::spec::profile("gzip").unwrap();
+        ThreadState::new(TraceGenerator::new(p, 1, 0), 512 + 16)
     }
 
     #[test]
@@ -222,10 +341,10 @@ mod tests {
     fn retire_frees_buffer() {
         let mut t = thread();
         let _ = t.inst_at(99);
-        assert_eq!(t.buffer.len(), 100);
+        assert_eq!(t.buffer_len(), 100);
         t.retire_buffer(49);
-        assert_eq!(t.buffer_base, 50);
-        assert_eq!(t.buffer.len(), 50);
+        assert_eq!(t.buffer_base(), 50);
+        assert_eq!(t.buffer_len(), 50);
         // Still replayable beyond the retired point.
         let _ = t.inst_at(75);
     }
@@ -234,16 +353,16 @@ mod tests {
     fn retire_past_a_gap_empties_the_buffer() {
         let mut t = thread();
         let _ = t.inst_at(9); // buffer holds seqs 0..=9
-        assert_eq!(t.buffer.len(), 10);
+        assert_eq!(t.buffer_len(), 10);
         // Retire far beyond the buffered range: everything buffered goes,
         // and the base lands just past the last buffered entry (not at the
         // retired seq), so the next fetch regenerates from there.
         t.retire_buffer(1_000);
-        assert!(t.buffer.is_empty());
-        assert_eq!(t.buffer_base, 10);
+        assert_eq!(t.buffer_len(), 0);
+        assert_eq!(t.buffer_base(), 10);
         // Retiring below the base is a no-op.
         t.retire_buffer(3);
-        assert_eq!(t.buffer_base, 10);
+        assert_eq!(t.buffer_base(), 10);
         // The stream continues identically after the jump.
         let a = t.inst_at(10);
         let b = t.inst_at(10);
@@ -255,18 +374,16 @@ mod tests {
         let mut t = thread();
         for s in 0..3u64 {
             let d = t.inst_at(s);
-            t.window
-                .push_back(crate::inst::DynInst::fetched(s, s + 1, d, 0, 0));
+            t.push_fetched(crate::inst::DynInst::fetched(s, s + 1, &d, 0, 0));
         }
-        // Two consumers wait on producer 0, one on producer 1 (the window
-        // base is 0, so slots coincide with sequence numbers here).
-        t.register_waiter_at(0, 1, 2);
-        t.register_waiter_at(0, 2, 3);
-        t.register_waiter_at(1, 2, 3);
+        // Two consumers wait on producer 0, one on producer 1.
+        t.register_waiter(0, 1, 2);
+        t.register_waiter(0, 2, 3);
+        t.register_waiter(1, 2, 3);
         assert_eq!(t.waiter_pool.len(), 3);
 
         // Walking producer 0's list yields its waiters (LIFO) and recycles.
-        let mut node = t.detach_waiters_at(0);
+        let mut node = t.detach_waiters(0);
         let mut seen = Vec::new();
         while node != NO_WAITER {
             let (w, next) = t.take_waiter(node);
@@ -277,10 +394,10 @@ mod tests {
         assert_eq!(t.get(0).unwrap().waiters_head, NO_WAITER);
 
         // New registrations reuse the freed slots instead of growing.
-        t.register_waiter_at(1, 2, 3);
-        t.register_waiter_at(1, 2, 3);
+        t.register_waiter(1, 2, 3);
+        t.register_waiter(1, 2, 3);
         assert_eq!(t.waiter_pool.len(), 3);
-        let head = t.detach_waiters_at(1);
+        let head = t.detach_waiters(1);
         t.free_waiters(head);
         assert_eq!(t.waiter_pool.len(), 3);
     }
@@ -288,10 +405,13 @@ mod tests {
     #[test]
     fn window_lookup_by_seq() {
         let mut t = thread();
-        for s in 10..15u64 {
+        // Advance the window base to 10 by fetching and retiring 10 insts.
+        for s in 0..15u64 {
             let d = t.inst_at(s);
-            t.window
-                .push_back(crate::inst::DynInst::fetched(s, s, d, 0, 0));
+            t.push_fetched(crate::inst::DynInst::fetched(s, s, &d, 0, 0));
+        }
+        for _ in 0..10 {
+            t.advance_base();
         }
         assert_eq!(t.window_base(), Some(10));
         assert_eq!(t.get(12).unwrap().seq, 12);
@@ -299,5 +419,25 @@ mod tests {
         assert!(t.get(15).is_none());
         t.get_mut(14).unwrap().mispredicted = true;
         assert!(t.get(14).unwrap().mispredicted);
+    }
+
+    #[test]
+    fn ring_wraps_without_aliasing() {
+        let mut t = thread();
+        // Push and retire far past the ring capacity; lookups must always
+        // resolve to the live incarnation.
+        for s in 0..5_000u64 {
+            let d = t.inst_at(s);
+            t.push_fetched(crate::inst::DynInst::fetched(s, s + 7, &d, 0, 0));
+            if s >= 100 {
+                t.retire_buffer(s - 100);
+                t.advance_base();
+            }
+        }
+        assert_eq!(t.window_len(), 100);
+        assert_eq!(t.window_base(), Some(4900));
+        assert_eq!(t.at(4950).seq, 4950);
+        assert_eq!(t.at(4950).uid, 4957);
+        assert!(t.get(4899).is_none(), "retired seq must be out of range");
     }
 }

@@ -18,7 +18,7 @@ use smt_isa::{PerResource, ResourceKind, ThreadId};
 ///
 /// let profiles = [spec::profile("gzip").unwrap()];
 /// let mut sim = Simulator::new(SimConfig::baseline(1), &profiles,
-///                              Box::new(RoundRobin::default()), 1);
+///                              RoundRobin::default(), 1);
 /// let mut rec = OccupancyRecorder::new(1);
 /// for _ in 0..100 {
 ///     sim.step();
@@ -128,7 +128,7 @@ mod tests {
         let mut sim = Simulator::new(
             SimConfig::baseline(benches.len()),
             &profiles,
-            Box::new(RoundRobin::default()),
+            RoundRobin::default(),
             3,
         );
         sim.prewarm(100_000);

@@ -23,7 +23,7 @@ proptest! {
         let mut sim = Simulator::new(
             SimConfig::baseline(benches.len()),
             &profiles,
-            Box::new(RoundRobin::default()),
+            RoundRobin::default(),
             seed,
         );
         for _ in 0..chunks {
@@ -40,7 +40,7 @@ proptest! {
         let mut sim = Simulator::new(
             SimConfig::baseline(benches.len()),
             &profiles,
-            Box::new(RoundRobin::default()),
+            RoundRobin::default(),
             seed,
         );
         sim.run_cycles(8_000);
@@ -58,7 +58,7 @@ proptest! {
         let mut sim = Simulator::new(
             SimConfig::baseline(2),
             &profiles,
-            Box::new(RoundRobin::default()),
+            RoundRobin::default(),
             seed,
         );
         sim.run_cycles(5_000);

@@ -8,10 +8,10 @@ use dcra_smt::dcra::Dcra;
 use dcra_smt::isa::{ResourceKind, ThreadId};
 use dcra_smt::policies::Icount;
 use dcra_smt::sim::watch::OccupancyRecorder;
-use dcra_smt::sim::{policy::Policy, SimConfig, Simulator};
+use dcra_smt::sim::{policy::AnyPolicy, SimConfig, Simulator};
 use dcra_smt::workloads::spec;
 
-fn measure(policy: Box<dyn Policy>, label: &str) {
+fn measure(policy: AnyPolicy, label: &str) {
     let benches = ["art", "gzip"];
     let profiles: Vec<_> = benches
         .iter()
@@ -46,11 +46,8 @@ fn measure(policy: Box<dyn Policy>, label: &str) {
 
 fn main() {
     println!("art (memory-bound) + gzip (high ILP) on the baseline machine\n");
-    measure(Box::new(Icount), "ICOUNT — no direct resource control");
-    measure(
-        Box::new(Dcra::default()),
-        "DCRA — usage-capped slow threads",
-    );
+    measure(Icount.into(), "ICOUNT — no direct resource control");
+    measure(Dcra::default().into(), "DCRA — usage-capped slow threads");
     println!("\nUnder ICOUNT the missing thread piles entries up in the shared");
     println!("queues; DCRA bounds it to its computed entitlement and returns the");
     println!("slack to the fast thread.");

@@ -21,7 +21,7 @@ fn main() {
     let mut sim = Simulator::new(
         SimConfig::baseline(2),
         &profiles,
-        Box::new(dcra_smt::dcra::Dcra::default()),
+        dcra_smt::dcra::Dcra::default(),
         7,
     );
     sim.prewarm(300_000);

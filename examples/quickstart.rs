@@ -17,7 +17,7 @@ fn main() {
     let gzip = spec::profile("gzip").expect("built-in profile");
     let mcf = spec::profile("mcf").expect("built-in profile");
 
-    let mut sim = Simulator::new(config, &[gzip, mcf], Box::new(Dcra::default()), 42);
+    let mut sim = Simulator::new(config, &[gzip, mcf], Dcra::default(), 42);
 
     // Warm the caches functionally, let the pipeline settle, then measure.
     sim.prewarm(400_000);

@@ -20,6 +20,15 @@ if [[ "${SMOKE:-0}" != 0 ]]; then
 fi
 ARGS+=(--out "$OUT")
 
-cargo run --release -p smt-experiments --bin bench_snapshot -- "${ARGS[@]}"
+cargo build --release -p smt-experiments --bin bench_snapshot
+
+# Refuse to append to a corrupt trajectory file: the snapshot binary
+# carries a strict JSON validator, so a damaged BENCH_core.json fails the
+# run loudly here instead of being silently clobbered.
+if [[ -s "$OUT" ]]; then
+    ./target/release/bench_snapshot --check "$OUT"
+fi
+
+./target/release/bench_snapshot "${ARGS[@]}"
 echo
 cat "$OUT"

@@ -12,7 +12,9 @@
 //! * [`mem`] — cache hierarchy, MSHRs, TLBs.
 //! * [`workloads`] — benchmark profiles, trace generators, Table-4
 //!   workloads.
-//! * [`sim`] — the cycle-level SMT pipeline.
+//! * [`policy_core`] — the `Policy` trait and per-cycle machine views.
+//! * [`sim`] — the cycle-level SMT pipeline and the statically-dispatched
+//!   `AnyPolicy` it runs.
 //! * [`policies`] — ICOUNT, STALL, FLUSH, FLUSH++, DG, PDG, SRA.
 //! * [`dcra`] — the paper's contribution.
 //! * [`metrics`] — IPC throughput, Hmean, MLP, front-end activity.
@@ -30,7 +32,7 @@
 //! let mut sim = Simulator::new(
 //!     SimConfig::baseline(2),
 //!     &profiles,
-//!     Box::new(Dcra::default()),
+//!     Dcra::default(), // statically dispatched via AnyPolicy
 //!     42,
 //! );
 //! sim.run_cycles(20_000);
@@ -49,5 +51,6 @@ pub use smt_isa as isa;
 pub use smt_mem as mem;
 pub use smt_metrics as metrics;
 pub use smt_policies as policies;
+pub use smt_policy_core as policy_core;
 pub use smt_sim as sim;
 pub use smt_workloads as workloads;

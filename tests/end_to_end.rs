@@ -194,12 +194,7 @@ fn slow_thread_classification_reaches_the_policy() {
         spec::profile("mcf").unwrap(),
         spec::profile("gzip").unwrap(),
     ];
-    let mut sim = Simulator::new(
-        SimConfig::baseline(2),
-        &profiles,
-        Box::new(Dcra::default()),
-        3,
-    );
+    let mut sim = Simulator::new(SimConfig::baseline(2), &profiles, Dcra::default(), 3);
     sim.prewarm(120_000);
     sim.run_cycles(10_000);
     let mut slow_cycles = 0;
