@@ -70,21 +70,32 @@ impl ActivityTracker {
         }
     }
 
-    /// Advances one cycle: decrements every FP-resource counter.
-    pub fn tick(&mut self) {
+    /// Advances one cycle: decrements every FP-resource counter. Returns
+    /// `true` if any thread's active flag flipped (a counter reached zero
+    /// this cycle) — the signal memoizing policies invalidate on.
+    pub fn tick(&mut self) -> bool {
+        let mut flipped = false;
         for c in &mut self.counters {
             for kind in ResourceKind::ALL {
                 if kind.is_fp() {
+                    if c[kind] == 1 {
+                        flipped = true;
+                    }
                     c[kind] = c[kind].saturating_sub(1);
                 }
             }
         }
+        flipped
     }
 
     /// Resets the counter of `kind` for thread `t` (the thread allocated an
-    /// entry this cycle).
-    pub fn on_alloc(&mut self, t: ThreadId, kind: ResourceKind) {
-        self.counters[t.index()][kind] = self.init;
+    /// entry this cycle). Returns `true` if the thread's active flag for
+    /// `kind` flipped from inactive to active.
+    pub fn on_alloc(&mut self, t: ThreadId, kind: ResourceKind) -> bool {
+        let c = &mut self.counters[t.index()][kind];
+        let flipped = kind.is_fp() && *c == 0;
+        *c = self.init;
+        flipped
     }
 
     /// `true` if thread `t` currently competes for `kind`. Non-FP resources

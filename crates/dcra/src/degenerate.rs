@@ -99,15 +99,16 @@ impl DcraDc {
 
     fn roll_window(&mut self, view: &CycleView) {
         let n = view.thread_count();
+        let committed = view.committed_counts();
         if self.slow_cycles.len() != n {
             self.slow_cycles = vec![0; n];
-            self.committed_base = view.threads.iter().map(|t| t.committed).collect();
+            self.committed_base = committed.to_vec();
             self.degenerate = vec![false; n];
             self.window_start = view.now;
             return;
         }
-        for (i, tv) in view.threads.iter().enumerate() {
-            if tv.l1d_pending > 0 {
+        for (i, &l1p) in view.l1d_pendings().iter().enumerate() {
+            if l1p > 0 {
                 self.slow_cycles[i] += 1;
             }
         }
@@ -115,16 +116,16 @@ impl DcraDc {
         if elapsed < self.detector.window {
             return;
         }
-        for (i, tv) in view.threads.iter().enumerate() {
+        for (i, &now_committed) in committed.iter().enumerate().take(n) {
             let slow_frac = self.slow_cycles[i] as f64 / elapsed as f64;
             // Counters can rewind when the simulator resets statistics
             // between warm-up and measurement.
-            let committed = tv.committed.saturating_sub(self.committed_base[i]);
-            let ipc = committed as f64 / elapsed as f64;
+            let done = now_committed.saturating_sub(self.committed_base[i]);
+            let ipc = done as f64 / elapsed as f64;
             self.degenerate[i] =
                 slow_frac >= self.detector.slow_fraction && ipc < self.detector.ipc_threshold;
             self.slow_cycles[i] = 0;
-            self.committed_base[i] = tv.committed;
+            self.committed_base[i] = now_committed;
         }
         self.window_start = view.now;
     }
@@ -145,13 +146,14 @@ impl Policy for DcraDc {
 
         self.phases.clear();
         self.phases.extend(
-            view.threads
+            view.l1d_pendings()
                 .iter()
-                .map(|t| ThreadPhase::from_pending_misses(t.l1d_pending)),
+                .map(|&c| ThreadPhase::from_pending_misses(c)),
         );
         self.gated.clear();
         self.gated.resize(n, false);
         let activity = self.activity.as_ref().expect("initialised above");
+        let usages = view.usages();
 
         for kind in ResourceKind::ALL {
             let mut fa = 0u32;
@@ -180,14 +182,14 @@ impl Policy for DcraDc {
             // full entitlement.
             let e_even = slow_share(view.totals[kind], fa, sa, SharingFactor::Zero);
             self.limits[kind] = Some(e_slow);
-            for i in 0..n {
+            for (i, usage) in usages.iter().enumerate().take(n) {
                 if self.phases[i] != ThreadPhase::Slow
                     || !activity.is_active(ThreadId::new(i), kind)
                 {
                     continue;
                 }
                 let cap = if self.degenerate[i] { e_even } else { e_slow };
-                if view.threads[i].usage[kind] >= cap {
+                if usage[kind] >= cap {
                     self.gated[i] = true;
                 }
             }
@@ -201,6 +203,10 @@ impl Policy for DcraDc {
 
     fn fetch_gate(&mut self, t: ThreadId, _view: &CycleView) -> bool {
         !self.gated.get(t.index()).copied().unwrap_or(false)
+    }
+
+    fn wants_progress_counters(&self) -> bool {
+        true // the degeneracy windows read per-thread committed counts
     }
 
     fn on_dispatch(&mut self, t: ThreadId, queue: QueueKind, dest: Option<RegClass>) {
@@ -222,18 +228,15 @@ mod tests {
 
     fn view(now: u64, specs: &[(u32, u64)]) -> CycleView {
         // (l1d_pending, committed)
-        CycleView {
-            now,
-            threads: specs
-                .iter()
-                .map(|&(l1p, committed)| ThreadView {
-                    l1d_pending: l1p,
-                    committed,
-                    ..ThreadView::default()
-                })
-                .collect(),
-            totals: PerResource::filled(32),
-        }
+        let threads: Vec<ThreadView> = specs
+            .iter()
+            .map(|&(l1p, committed)| ThreadView {
+                l1d_pending: l1p,
+                committed,
+                ..ThreadView::default()
+            })
+            .collect();
+        CycleView::new(now, PerResource::filled(32), &threads)
     }
 
     #[test]
@@ -275,7 +278,14 @@ mod tests {
         // share (1/(A+4) at 2 active) = 16·(1+1/6) ≈ 19. A degenerate
         // thread at usage 17 must be gated; an ordinary one must not.
         let mut v = view(w + 2, &[(1, 0), (0, 0)]);
-        v.threads[0].usage = PerResource::filled(17);
+        v.set_thread(
+            0,
+            &ThreadView {
+                l1d_pending: 1,
+                usage: PerResource::filled(17),
+                ..ThreadView::default()
+            },
+        );
         p.begin_cycle(&v);
         assert!(
             !p.fetch_gate(ThreadId::new(0), &v),

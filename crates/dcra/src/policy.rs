@@ -57,6 +57,20 @@ pub struct Dcra {
     gated: Vec<bool>,
     /// Phase of each thread this cycle (exposed for the Table-5 study).
     phases: Vec<ThreadPhase>,
+    /// Memoization of the sharing-model evaluation: the limits (and the
+    /// slow-active membership below) only depend on the phase vector and
+    /// the per-resource active sets, so they are recomputed only when one
+    /// of those inputs changed since the previous cycle.
+    limits_valid: bool,
+    /// An activity flag flipped since the limits were last computed.
+    activity_dirty: bool,
+    /// Resource totals the limits were last computed against (constant
+    /// within one simulator run, but the public API allows differently
+    /// shaped views cycle to cycle).
+    last_totals: PerResource<u32>,
+    /// Bitmask (over thread ids) of slow-active threads per resource, from
+    /// the last limits recompute — the enforcement sweep walks only these.
+    slow_active: PerResource<u8>,
 }
 
 impl Default for Dcra {
@@ -74,6 +88,10 @@ impl Dcra {
             limits: PerResource::default(),
             gated: Vec::new(),
             phases: Vec::new(),
+            limits_valid: false,
+            activity_dirty: false,
+            last_totals: PerResource::default(),
+            slow_active: PerResource::default(),
         }
     }
 
@@ -107,50 +125,82 @@ impl Policy for Dcra {
 
     fn begin_cycle(&mut self, view: &CycleView) {
         let n = view.thread_count();
-        self.activity(n).tick();
+        self.activity_dirty |= self.activity(n).tick();
 
-        self.phases.clear();
-        self.phases.extend(
-            view.threads
-                .iter()
-                .map(|t| ThreadPhase::from_pending_misses(t.l1d_pending)),
-        );
+        // Re-classify phases from the pending-miss lane, noting whether
+        // anything actually changed since the previous cycle.
+        let l1d = view.l1d_pendings();
+        let mut phases_changed = self.phases.len() != n;
+        if phases_changed {
+            self.phases.clear();
+            self.phases
+                .extend(l1d.iter().map(|&c| ThreadPhase::from_pending_misses(c)));
+        } else {
+            for (p, &c) in self.phases.iter_mut().zip(l1d) {
+                let fresh = ThreadPhase::from_pending_misses(c);
+                phases_changed |= *p != fresh;
+                *p = fresh;
+            }
+        }
 
-        self.gated.clear();
-        self.gated.resize(n, false);
-        let activity = self.activity.as_ref().expect("initialised above");
-
-        for kind in ResourceKind::ALL {
-            // Count fast-active and slow-active threads for this resource.
-            let mut fa = 0u32;
-            let mut sa = 0u32;
-            for i in 0..n {
-                if !activity.is_active(ThreadId::new(i), kind) {
+        // The sharing model is a pure function of (phases, active sets,
+        // totals); skip its evaluation on the (common) cycles where no
+        // input moved and reuse the memoized limits and slow-active sets.
+        if phases_changed
+            || self.activity_dirty
+            || !self.limits_valid
+            || self.last_totals != view.totals
+        {
+            let activity = self.activity.as_ref().expect("initialised above");
+            for kind in ResourceKind::ALL {
+                // Count fast-active and slow-active threads for this
+                // resource, remembering who the slow-active ones are.
+                let mut fa = 0u32;
+                let mut sa = 0u32;
+                let mut slow_mask = 0u8;
+                for i in 0..n {
+                    if !activity.is_active(ThreadId::new(i), kind) {
+                        continue;
+                    }
+                    match self.phases[i] {
+                        ThreadPhase::Fast => fa += 1,
+                        ThreadPhase::Slow => {
+                            sa += 1;
+                            slow_mask |= 1 << i;
+                        }
+                    }
+                }
+                self.slow_active[kind] = slow_mask;
+                if sa == 0 {
+                    self.limits[kind] = None;
                     continue;
                 }
-                match self.phases[i] {
-                    ThreadPhase::Fast => fa += 1,
-                    ThreadPhase::Slow => sa += 1,
-                }
+                let factor = if kind.is_queue() {
+                    self.config.sharing.queue_factor
+                } else {
+                    self.config.sharing.reg_factor
+                };
+                self.limits[kind] = Some(slow_share(view.totals[kind], fa, sa, factor));
             }
-            if sa == 0 {
-                self.limits[kind] = None;
-                continue;
-            }
-            let factor = if kind.is_queue() {
-                self.config.sharing.queue_factor
-            } else {
-                self.config.sharing.reg_factor
-            };
-            let e_slow = slow_share(view.totals[kind], fa, sa, factor);
-            self.limits[kind] = Some(e_slow);
+            self.limits_valid = true;
+            self.activity_dirty = false;
+            self.last_totals = view.totals;
+        }
 
-            // Enforcement: gate slow-active threads at/above their share.
-            for i in 0..n {
-                if self.phases[i] == ThreadPhase::Slow
-                    && activity.is_active(ThreadId::new(i), kind)
-                    && view.threads[i].usage[kind] >= e_slow
-                {
+        // Enforcement every cycle (usage moves constantly): gate
+        // slow-active threads at/above their share.
+        self.gated.clear();
+        self.gated.resize(n, false);
+        let usages = view.usages();
+        for kind in ResourceKind::ALL {
+            let Some(e_slow) = self.limits[kind] else {
+                continue;
+            };
+            let mut mask = self.slow_active[kind];
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if usages[i][kind] >= e_slow {
                     self.gated[i] = true;
                 }
             }
@@ -171,9 +221,9 @@ impl Policy for Dcra {
             .activity
             .as_mut()
             .expect("on_dispatch before begin_cycle");
-        activity.on_alloc(t, queue.resource());
+        self.activity_dirty |= activity.on_alloc(t, queue.resource());
         if let Some(d) = dest {
-            activity.on_alloc(t, d.resource());
+            self.activity_dirty |= activity.on_alloc(t, d.resource());
         }
     }
 }
@@ -187,24 +237,21 @@ mod tests {
     type ThreadSpec<'a> = (u32, u32, &'a [(ResourceKind, u32)]);
 
     fn view(specs: &[ThreadSpec]) -> CycleView {
-        CycleView {
-            now: 0,
-            threads: specs
-                .iter()
-                .map(|(ic, l1p, usages)| {
-                    let mut tv = ThreadView {
-                        icount: *ic,
-                        l1d_pending: *l1p,
-                        ..ThreadView::default()
-                    };
-                    for (k, v) in usages.iter() {
-                        tv.usage[*k] = *v;
-                    }
-                    tv
-                })
-                .collect(),
-            totals: PerResource::filled(32),
-        }
+        let threads: Vec<ThreadView> = specs
+            .iter()
+            .map(|(ic, l1p, usages)| {
+                let mut tv = ThreadView {
+                    icount: *ic,
+                    l1d_pending: *l1p,
+                    ..ThreadView::default()
+                };
+                for (k, v) in usages.iter() {
+                    tv.usage[*k] = *v;
+                }
+                tv
+            })
+            .collect();
+        CycleView::new(0, PerResource::filled(32), &threads)
     }
 
     fn inverse_dcra() -> Dcra {

@@ -165,15 +165,16 @@ impl Policy for TableDcra {
 
         self.phases.clear();
         self.phases.extend(
-            view.threads
+            view.l1d_pendings()
                 .iter()
-                .map(|t| ThreadPhase::from_pending_misses(t.l1d_pending)),
+                .map(|&c| ThreadPhase::from_pending_misses(c)),
         );
         self.gated.clear();
         self.gated.resize(n, false);
 
         let activity = self.activity.as_ref().expect("initialised above");
         let roms = self.roms.as_ref().expect("initialised above");
+        let usages = view.usages();
         for kind in ResourceKind::ALL {
             let mut fa = 0u32;
             let mut sa = 0u32;
@@ -189,10 +190,10 @@ impl Policy for TableDcra {
             let e_slow = roms[kind].lookup(fa, sa);
             self.limits[kind] = e_slow;
             let Some(e_slow) = e_slow else { continue };
-            for i in 0..n {
+            for (i, usage) in usages.iter().enumerate().take(n) {
                 if self.phases[i] == ThreadPhase::Slow
                     && activity.is_active(ThreadId::new(i), kind)
-                    && view.threads[i].usage[kind] >= e_slow
+                    && usage[kind] >= e_slow
                 {
                     self.gated[i] = true;
                 }
@@ -250,18 +251,15 @@ mod tests {
     }
 
     fn view(specs: &[(u32, u32)]) -> CycleView {
-        CycleView {
-            now: 0,
-            threads: specs
-                .iter()
-                .map(|&(ic, l1p)| ThreadView {
-                    icount: ic,
-                    l1d_pending: l1p,
-                    ..ThreadView::default()
-                })
-                .collect(),
-            totals: PerResource::filled(32),
-        }
+        let threads: Vec<ThreadView> = specs
+            .iter()
+            .map(|&(ic, l1p)| ThreadView {
+                icount: ic,
+                l1d_pending: l1p,
+                ..ThreadView::default()
+            })
+            .collect();
+        CycleView::new(0, PerResource::filled(32), &threads)
     }
 
     /// The table-driven and combinational implementations must compute the
@@ -275,14 +273,23 @@ mod tests {
         // varying usage.
         for mask in 0u32..16 {
             for usage in [0u32, 5, 9, 32] {
-                let mut v = view(&[
+                let specs = [
                     (3, mask & 1),
                     (7, (mask >> 1) & 1),
                     (11, (mask >> 2) & 1),
                     (2, (mask >> 3) & 1),
-                ]);
-                for t in &mut v.threads {
-                    t.usage = PerResource::filled(usage);
+                ];
+                let mut v = view(&specs);
+                for (i, &(ic, l1p)) in specs.iter().enumerate() {
+                    v.set_thread(
+                        i,
+                        &ThreadView {
+                            icount: ic,
+                            l1d_pending: l1p,
+                            usage: PerResource::filled(usage),
+                            ..ThreadView::default()
+                        },
+                    );
                 }
                 table.begin_cycle(&v);
                 comb.begin_cycle(&v);

@@ -115,17 +115,17 @@ fn activity_donation_helps_fp_slow_threads() {
     sim.run_cycles(40_000);
     // Reconstruct the classification offline: gzip emits no FP work, so
     // after 256 cycles it must be inactive for FP resources.
-    let view = smt_sim::policy::CycleView {
-        now: 0,
-        threads: vec![
+    let view = smt_sim::policy::CycleView::new(
+        0,
+        smt_isa::PerResource::filled(80),
+        &[
             smt_sim::policy::ThreadView {
                 l1d_pending: 1, // swim slow
                 ..Default::default()
             },
             smt_sim::policy::ThreadView::default(), // gzip fast
         ],
-        totals: smt_isa::PerResource::filled(80),
-    };
+    );
     use smt_sim::policy::Policy as _;
     for _ in 0..300 {
         policy.begin_cycle(&view);

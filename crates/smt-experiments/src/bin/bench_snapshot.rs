@@ -25,7 +25,7 @@
 //! run.
 
 use smt_experiments::{PolicyKind, RunSpec, SimSession};
-use smt_sim::{SimConfig, Simulator};
+use smt_sim::{SimConfig, Simulator, StageProfile};
 use smt_workloads::spec;
 use std::time::Instant;
 
@@ -70,6 +70,21 @@ fn measure(policy: &PolicyKind, cycles: u64, reps: usize) -> f64 {
         .collect();
     rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
     rates[rates.len() / 2]
+}
+
+/// Per-stage cycle-cost breakdown: runs every policy for `cycles` cycles
+/// through [`Simulator::step_profiled`] and accumulates one aggregate
+/// [`StageProfile`], so the snapshot records where the cycle loop spends
+/// its time (and future PRs can see which stage an optimisation moved).
+fn measure_stage_breakdown(cycles: u64) -> StageProfile {
+    let mut profile = StageProfile::default();
+    for policy in policies() {
+        let mut sim = prepared(&policy);
+        for _ in 0..cycles {
+            sim.step_profiled(&mut profile);
+        }
+    }
+    profile
 }
 
 /// Measures sweep setup cost: `runs`-run queues of *very short*
@@ -310,13 +325,31 @@ fn main() {
         "{:>8}: {session_rate:>12.1} runs/s reused session, {fresh_rate:.1} fresh",
         "sweep"
     );
+    let profile = measure_stage_breakdown(if smoke { 2_000 } else { 30_000 });
+    let stage_fields: Vec<String> = profile
+        .shares()
+        .iter()
+        .map(|(name, share)| format!("\"{name}\": {:.1}", share * 100.0))
+        .collect();
+    eprintln!(
+        "{:>8}: {}",
+        "stages",
+        profile
+            .shares()
+            .iter()
+            .map(|(n, s)| format!("{n} {:.0}%", s * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 
     let snapshot = format!(
         "{{ \"label\": \"{label}\", \"smoke\": {smoke}, \"measured_cycles\": {cycles}, \
          \"mean_cycles_per_sec\": {mean:.0}, \
          \"sweep_session_runs_per_sec\": {session_rate:.1}, \
          \"sweep_fresh_runs_per_sec\": {fresh_rate:.1}, \
+         \"stage_pct\": {{ {} }}, \
          \"cycles_per_sec\": {{ {} }} }}",
+        stage_fields.join(", "),
         fields.join(", ")
     );
     let mut lines = existing_snapshots(&out);

@@ -37,6 +37,17 @@ impl CacheStats {
     }
 }
 
+/// One way of a set: its resident tag and LRU stamp, stored interleaved
+/// so a set lookup walks one contiguous run of memory (a 2-way set is a
+/// single 32-byte span) instead of two parallel arrays.
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    /// Resident tag; `u64::MAX` = invalid.
+    tag: u64,
+    /// LRU stamp.
+    lru: u64,
+}
+
 /// A set-associative, write-allocate cache with true-LRU replacement.
 ///
 /// The cache stores tags only (the simulator is trace-driven; no data is
@@ -56,10 +67,8 @@ impl CacheStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cache {
-    /// `sets × ways` tag array; `u64::MAX` = invalid.
-    tags: Vec<u64>,
-    /// LRU stamps parallel to `tags`.
-    lru: Vec<u64>,
+    /// `sets × ways` tag+LRU array, way-major within each set.
+    slots: Vec<Way>,
     sets: usize,
     ways: usize,
     line_shift: u32,
@@ -92,8 +101,13 @@ impl Cache {
         let sets = config.size_bytes / way_bytes;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Cache {
-            tags: vec![u64::MAX; sets * config.ways],
-            lru: vec![0; sets * config.ways],
+            slots: vec![
+                Way {
+                    tag: u64::MAX,
+                    lru: 0
+                };
+                sets * config.ways
+            ],
             sets,
             ways: config.ways,
             line_shift: config.line_bytes.trailing_zeros(),
@@ -109,27 +123,28 @@ impl Cache {
     pub fn access(&mut self, addr: u64, _is_write: bool) -> bool {
         self.stats.accesses += 1;
         self.tick += 1;
+        let tick = self.tick;
         let line = addr >> self.line_shift;
         let set = (line as usize) & (self.sets - 1);
         let tag = line >> self.set_shift;
         let base = set * self.ways;
+        // One bounds check for the whole set, then a contiguous walk.
+        let set_ways = &mut self.slots[base..base + self.ways];
 
-        let mut victim = base;
+        let mut victim = 0;
         let mut oldest = u64::MAX;
-        for way in 0..self.ways {
-            let idx = base + way;
-            if self.tags[idx] == tag {
-                self.lru[idx] = self.tick;
+        for (way, w) in set_ways.iter_mut().enumerate() {
+            if w.tag == tag {
+                w.lru = tick;
                 return true;
             }
-            if self.lru[idx] < oldest {
-                oldest = self.lru[idx];
-                victim = idx;
+            if w.lru < oldest {
+                oldest = w.lru;
+                victim = way;
             }
         }
         self.stats.misses += 1;
-        self.tags[victim] = tag;
-        self.lru[victim] = self.tick;
+        set_ways[victim] = Way { tag, lru: tick };
         false
     }
 
@@ -138,7 +153,10 @@ impl Cache {
         let line = addr >> self.line_shift;
         let set = (line as usize) & (self.sets - 1);
         let tag = line >> self.set_shift;
-        (0..self.ways).any(|w| self.tags[set * self.ways + w] == tag)
+        let base = set * self.ways;
+        self.slots[base..base + self.ways]
+            .iter()
+            .any(|w| w.tag == tag)
     }
 
     /// Hit/miss counters.
@@ -156,8 +174,10 @@ impl Cache {
     /// After this call the cache behaves bit-identically to a freshly
     /// constructed one.
     pub fn reset_cold(&mut self) {
-        self.tags.fill(u64::MAX);
-        self.lru.fill(0);
+        self.slots.fill(Way {
+            tag: u64::MAX,
+            lru: 0,
+        });
         self.tick = 0;
         self.stats = CacheStats::default();
     }

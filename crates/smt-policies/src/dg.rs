@@ -33,7 +33,7 @@ impl Policy for DataGating {
     }
 
     fn fetch_gate(&mut self, t: ThreadId, view: &CycleView) -> bool {
-        view.thread(t).l1d_pending == 0
+        view.l1d_pending(t) == 0
     }
 }
 
@@ -50,11 +50,7 @@ mod tests {
             l1d_pending: 2,
             ..ThreadView::default()
         };
-        let v = CycleView {
-            now: 0,
-            threads: vec![a, ThreadView::default()],
-            totals: PerResource::filled(80),
-        };
+        let v = CycleView::new(0, PerResource::filled(80), &[a, ThreadView::default()]);
         assert!(!p.fetch_gate(ThreadId::new(0), &v));
         assert!(p.fetch_gate(ThreadId::new(1), &v));
     }

@@ -33,7 +33,7 @@ impl Policy for Flush {
     }
 
     fn fetch_gate(&mut self, t: ThreadId, view: &CycleView) -> bool {
-        view.thread(t).l2_pending == 0
+        view.l2_pending(t) == 0
     }
 
     fn on_l2_miss_detected(&mut self, _t: ThreadId, _view: &CycleView) -> MissResponse {
@@ -50,11 +50,7 @@ mod tests {
     #[test]
     fn responds_with_flush() {
         let mut p = Flush;
-        let v = CycleView {
-            now: 0,
-            threads: vec![ThreadView::default()],
-            totals: PerResource::filled(80),
-        };
+        let v = CycleView::new(0, PerResource::filled(80), &[ThreadView::default()]);
         assert_eq!(
             p.on_l2_miss_detected(ThreadId::new(0), &v),
             MissResponse::Flush

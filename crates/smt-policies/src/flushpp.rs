@@ -31,6 +31,10 @@ pub struct FlushPlusPlus {
     window_base: Vec<(u64, u64)>,
     /// Miss rate per thread over the last complete window.
     rates: Vec<f64>,
+    /// Number of memory-bounded threads, memoized when `rates` roll over —
+    /// the classification inputs only change at window boundaries, so the
+    /// per-miss-event pressure query is a cached read instead of a scan.
+    pressure: usize,
     last_window: u64,
 }
 
@@ -44,12 +48,10 @@ impl FlushPlusPlus {
     /// Re-evaluation period in cycles.
     pub const WINDOW: u64 = 4096;
 
-    /// Number of threads currently classified as memory-bounded.
+    /// Number of threads currently classified as memory-bounded (cached at
+    /// the last window rollover).
     fn mem_threads(&self) -> usize {
-        self.rates
-            .iter()
-            .filter(|&&r| r > Self::MEM_THRESHOLD)
-            .count()
+        self.pressure
     }
 }
 
@@ -63,23 +65,33 @@ impl Policy for FlushPlusPlus {
         if self.window_base.len() != n {
             self.window_base = vec![(0, 0); n];
             self.rates = vec![0.0; n];
+            // The memoized pressure count mirrors `rates`; reset it with
+            // them, or a stale count would answer miss responses until the
+            // next window rollover.
+            self.pressure = 0;
         }
         if view.now >= self.last_window + Self::WINDOW {
             self.last_window = view.now;
-            for (i, tv) in view.threads.iter().enumerate() {
+            let (all_loads, all_misses) = (view.load_counts(), view.l2_miss_counts());
+            for i in 0..n {
                 let (loads0, misses0) = self.window_base[i];
                 // saturating: the simulator may reset its statistics
                 // between windows (end of warm-up), which rewinds the
                 // absolute counters.
-                let loads = tv.loads.saturating_sub(loads0);
-                let misses = tv.l2_misses.saturating_sub(misses0);
+                let loads = all_loads[i].saturating_sub(loads0);
+                let misses = all_misses[i].saturating_sub(misses0);
                 self.rates[i] = if loads == 0 {
                     0.0
                 } else {
                     misses as f64 / loads as f64
                 };
-                self.window_base[i] = (tv.loads, tv.l2_misses);
+                self.window_base[i] = (all_loads[i], all_misses[i]);
             }
+            self.pressure = self
+                .rates
+                .iter()
+                .filter(|&&r| r > Self::MEM_THRESHOLD)
+                .count();
         }
     }
 
@@ -88,7 +100,11 @@ impl Policy for FlushPlusPlus {
     }
 
     fn fetch_gate(&mut self, t: ThreadId, view: &CycleView) -> bool {
-        view.thread(t).l2_pending == 0
+        view.l2_pending(t) == 0
+    }
+
+    fn wants_progress_counters(&self) -> bool {
+        true // the pressure windows read loads/l2_misses
     }
 
     fn on_l2_miss_detected(&mut self, _t: ThreadId, _view: &CycleView) -> MissResponse {
@@ -107,18 +123,15 @@ mod tests {
     use smt_policy_core::ThreadView;
 
     fn view_with(loads: &[(u64, u64)], now: u64) -> CycleView {
-        CycleView {
-            now,
-            threads: loads
-                .iter()
-                .map(|&(l, m)| ThreadView {
-                    loads: l,
-                    l2_misses: m,
-                    ..ThreadView::default()
-                })
-                .collect(),
-            totals: PerResource::filled(80),
-        }
+        let threads: Vec<ThreadView> = loads
+            .iter()
+            .map(|&(l, m)| ThreadView {
+                loads: l,
+                l2_misses: m,
+                ..ThreadView::default()
+            })
+            .collect();
+        CycleView::new(now, PerResource::filled(80), &threads)
     }
 
     #[test]

@@ -12,9 +12,11 @@ pub fn icount_order_into(view: &CycleView, out: &mut Vec<ThreadId>) {
     // machine sizes (2–4 threads) use a fixed compare–exchange network on
     // `(icount, index)` keys instead of the generic sort. Keys are unique
     // (the index breaks ties), so the network's lack of stability cannot
-    // be observed and the order matches `sort_by_key` exactly.
-    let n = view.thread_count();
-    let key = |i: usize| (view.threads[i].icount, i);
+    // be observed and the order matches `sort_by_key` exactly. The keys
+    // come straight from the view's contiguous icount lane.
+    let icounts = view.icounts();
+    let n = icounts.len();
+    let key = |i: usize| (icounts[i], i);
     match n {
         0 => {}
         1 => out.push(ThreadId::new(0)),
@@ -48,7 +50,7 @@ pub fn icount_order_into(view: &CycleView, out: &mut Vec<ThreadId>) {
         _ => {
             let first = out.len();
             out.extend((0..n).map(ThreadId::new));
-            out[first..].sort_by_key(|t| (view.threads[t.index()].icount, t.index()));
+            out[first..].sort_by_key(|t| (icounts[t.index()], t.index()));
         }
     }
 }
@@ -97,17 +99,14 @@ mod tests {
     use smt_policy_core::ThreadView;
 
     fn view(icounts: &[u32]) -> CycleView {
-        CycleView {
-            now: 0,
-            threads: icounts
-                .iter()
-                .map(|&c| ThreadView {
-                    icount: c,
-                    ..ThreadView::default()
-                })
-                .collect(),
-            totals: PerResource::filled(80),
-        }
+        let threads: Vec<ThreadView> = icounts
+            .iter()
+            .map(|&c| ThreadView {
+                icount: c,
+                ..ThreadView::default()
+            })
+            .collect();
+        CycleView::new(0, PerResource::filled(80), &threads)
     }
 
     #[test]

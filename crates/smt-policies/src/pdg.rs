@@ -84,7 +84,7 @@ impl Policy for PredictiveDataGating {
         self.ensure(view.thread_count());
         // Gate on predicted misses (the predictive part) and on real
         // pending misses the predictor failed to anticipate (DG fallback).
-        self.predicted_inflight[t.index()] == 0 && view.thread(t).l1d_pending == 0
+        self.predicted_inflight[t.index()] == 0 && view.l1d_pending(t) == 0
     }
 
     fn on_fetch_inst(&mut self, t: ThreadId, inst: &DecodedInst) {
@@ -137,11 +137,7 @@ mod tests {
     }
 
     fn view(n: usize) -> CycleView {
-        CycleView {
-            now: 0,
-            threads: vec![ThreadView::default(); n],
-            totals: PerResource::filled(80),
-        }
+        CycleView::new(0, PerResource::filled(80), &vec![ThreadView::default(); n])
     }
 
     #[test]

@@ -69,7 +69,7 @@ impl Policy for StaticAllocation {
         dest: Option<RegClass>,
         view: &CycleView,
     ) -> bool {
-        let usage = &view.thread(t).usage;
+        let usage = view.usage(t);
         let qr = queue.resource();
         if usage[qr] >= self.cap(qr, view) {
             return false;
@@ -87,7 +87,7 @@ impl Policy for StaticAllocation {
         // Stop fetching once the thread is already at a partition limit;
         // dispatch would refuse the instructions anyway, so fetching more
         // only fills the fetch queue.
-        let usage = &view.thread(t).usage;
+        let usage = view.usage(t);
         ResourceKind::ALL
             .iter()
             .any(|&r| usage[r] < self.cap(r, view))
@@ -100,11 +100,20 @@ mod tests {
     use smt_policy_core::ThreadView;
 
     fn view(n: usize, totals: u32) -> CycleView {
-        CycleView {
-            now: 0,
-            threads: vec![ThreadView::default(); n],
-            totals: PerResource::filled(totals),
+        CycleView::new(
+            0,
+            PerResource::filled(totals),
+            &vec![ThreadView::default(); n],
+        )
+    }
+
+    /// Rebuilds `view`'s thread 0 with the given usage overrides.
+    fn with_usage(view: &mut CycleView, usages: &[(ResourceKind, u32)]) {
+        let mut tv = ThreadView::default();
+        for &(k, v) in usages {
+            tv.usage[k] = v;
         }
+        view.set_thread(0, &tv);
     }
 
     #[test]
@@ -120,7 +129,7 @@ mod tests {
     fn dispatch_blocked_at_cap() {
         let p = StaticAllocation::new();
         let mut v = view(2, 80); // cap 40
-        v.threads[0].usage[ResourceKind::IntQueue] = 40;
+        with_usage(&mut v, &[(ResourceKind::IntQueue, 40)]);
         assert!(!p.may_dispatch(ThreadId::new(0), QueueKind::Int, None, &v));
         assert!(p.may_dispatch(ThreadId::new(1), QueueKind::Int, None, &v));
         // A different queue is still allowed.
@@ -131,7 +140,7 @@ mod tests {
     fn register_cap_checked_independently() {
         let p = StaticAllocation::new();
         let mut v = view(2, 80);
-        v.threads[0].usage[ResourceKind::IntRegs] = 40;
+        with_usage(&mut v, &[(ResourceKind::IntRegs, 40)]);
         assert!(!p.may_dispatch(ThreadId::new(0), QueueKind::Int, Some(RegClass::Int), &v));
         assert!(p.may_dispatch(ThreadId::new(0), QueueKind::Int, None, &v));
     }
@@ -150,11 +159,12 @@ mod tests {
     fn fetch_gate_closes_only_when_every_resource_full() {
         let mut p = StaticAllocation::new();
         let mut v = view(2, 80);
-        for r in ResourceKind::ALL {
-            v.threads[0].usage[r] = 40;
-        }
+        let full: Vec<_> = ResourceKind::ALL.iter().map(|&r| (r, 40)).collect();
+        with_usage(&mut v, &full);
         assert!(!p.fetch_gate(ThreadId::new(0), &v));
-        v.threads[0].usage[ResourceKind::FpQueue] = 0;
+        let mut nearly = full;
+        nearly.retain(|&(r, _)| r != ResourceKind::FpQueue);
+        with_usage(&mut v, &nearly);
         assert!(p.fetch_gate(ThreadId::new(0), &v));
     }
 }

@@ -37,7 +37,7 @@ impl Policy for Stall {
         // Belt and braces: the simulator also stalls the thread via the
         // Stall response below, but gating on the pending counter keeps the
         // thread stopped while *any* detected L2 miss is outstanding.
-        view.thread(t).l2_pending == 0
+        view.l2_pending(t) == 0
     }
 
     fn on_l2_miss_detected(&mut self, _t: ThreadId, _view: &CycleView) -> MissResponse {
@@ -58,11 +58,7 @@ mod tests {
             l2_pending: 1,
             ..ThreadView::default()
         };
-        let v = CycleView {
-            now: 0,
-            threads: vec![tv, ThreadView::default()],
-            totals: PerResource::filled(80),
-        };
+        let v = CycleView::new(0, PerResource::filled(80), &[tv, ThreadView::default()]);
         assert!(!p.fetch_gate(ThreadId::new(0), &v));
         assert!(p.fetch_gate(ThreadId::new(1), &v));
         assert_eq!(

@@ -9,6 +9,16 @@
 //! resource-usage counters in the [`CycleView`] — exactly the distinction
 //! Section 3.3 of the paper draws.
 //!
+//! The [`CycleView`] is stored *struct-of-arrays*: one contiguous lane per
+//! per-thread quantity (icount, pending-miss counters, usage, commit
+//! counters). Policies that rank or scan threads every cycle — the ICOUNT
+//! sort, DCRA's classification pass, FLUSH++'s window rollover — read the
+//! lane they need via the batch accessors ([`CycleView::icounts`],
+//! [`CycleView::l1d_pendings`], ...) instead of striding over an
+//! array-of-structs, so the per-cycle scans touch only the bytes they use.
+//! [`ThreadView`] remains as the *record* form: views are built from (and
+//! tests construct them with) per-thread records via [`CycleView::new`].
+//!
 //! This crate sits *below* both the concrete policy crates (`smt-policies`,
 //! `dcra`) and the simulator (`smt-sim`), so the simulator can depend on
 //! the concrete policies and dispatch them statically through its
@@ -19,14 +29,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use smt_isa::{DecodedInst, PerResource, QueueKind, RegClass, ThreadId};
+use smt_isa::{DecodedInst, PerResource, QueueKind, RegClass, ResourceKind, ThreadId};
 use smt_mem::HitLevel;
 
-/// Per-thread state visible to policies each cycle.
+/// Per-thread state visible to policies each cycle, in record form.
 ///
 /// These correspond to the hardware counters of Section 3.4: per-thread
 /// queue/register occupancy and the pending-L1-miss counter, plus the
 /// ICOUNT-style pre-issue instruction count that fetch policies use.
+///
+/// Inside a [`CycleView`] the same quantities are stored as per-field
+/// lanes; this struct is the unit views are built from ([`CycleView::new`],
+/// [`CycleView::set_thread`]).
 #[derive(Debug, Clone, Default)]
 pub struct ThreadView {
     /// Instructions in pre-issue stages (fetch queue + issue queues).
@@ -40,8 +54,7 @@ pub struct ThreadView {
     pub l2_pending: u32,
     /// Instructions committed so far.
     pub committed: u64,
-    /// Data-cache accesses and L2 misses so far (for FLUSH++'s workload
-    /// pressure heuristic).
+    /// L2 misses so far (for FLUSH++'s workload pressure heuristic).
     pub l2_misses: u64,
     /// Loads executed so far.
     pub loads: u64,
@@ -49,28 +62,216 @@ pub struct ThreadView {
 
 /// Machine-wide state visible to policies each cycle.
 ///
-/// The simulator owns long-lived `CycleView` buffers and refreshes them in
-/// place each cycle (no per-cycle allocation); policies only ever see a
-/// shared reference.
+/// Stored struct-of-arrays: one lane per per-thread field, so per-cycle
+/// policy scans (the ICOUNT sort, DCRA's classification, gating sweeps)
+/// are contiguous. The simulator owns long-lived `CycleView` buffers and
+/// refreshes them in place each cycle (no per-cycle allocation); policies
+/// only ever see a shared reference.
+///
+/// # Examples
+///
+/// ```
+/// use smt_policy_core::{CycleView, ThreadView};
+/// use smt_isa::{PerResource, ThreadId};
+///
+/// let view = CycleView::new(
+///     7,
+///     PerResource::filled(80),
+///     &[
+///         ThreadView { icount: 3, ..ThreadView::default() },
+///         ThreadView { icount: 9, ..ThreadView::default() },
+///     ],
+/// );
+/// assert_eq!(view.thread_count(), 2);
+/// assert_eq!(view.icount(ThreadId::new(1)), 9);
+/// assert_eq!(view.icounts(), &[3, 9]);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct CycleView {
     /// Current cycle.
     pub now: u64,
-    /// Per-thread state, indexed by [`ThreadId::index`].
-    pub threads: Vec<ThreadView>,
     /// Total entries of each controlled resource.
     pub totals: PerResource<u32>,
+    icount: Vec<u32>,
+    l1d_pending: Vec<u32>,
+    l2_pending: Vec<u32>,
+    usage: Vec<PerResource<u32>>,
+    committed: Vec<u64>,
+    l2_misses: Vec<u64>,
+    loads: Vec<u64>,
 }
 
 impl CycleView {
-    /// Convenience accessor.
-    pub fn thread(&self, t: ThreadId) -> &ThreadView {
-        &self.threads[t.index()]
+    /// Builds a view from per-thread records.
+    pub fn new(now: u64, totals: PerResource<u32>, threads: &[ThreadView]) -> Self {
+        let mut v = CycleView {
+            now,
+            totals,
+            ..CycleView::default()
+        };
+        v.resize(threads.len());
+        for (i, tv) in threads.iter().enumerate() {
+            v.set_thread(i, tv);
+        }
+        v
+    }
+
+    /// Resizes every lane to `n` threads (new entries zeroed). Existing
+    /// entries are retained; the simulator overwrites them all each cycle.
+    pub fn resize(&mut self, n: usize) {
+        self.icount.resize(n, 0);
+        self.l1d_pending.resize(n, 0);
+        self.l2_pending.resize(n, 0);
+        self.usage.resize(n, PerResource::default());
+        self.committed.resize(n, 0);
+        self.l2_misses.resize(n, 0);
+        self.loads.resize(n, 0);
+    }
+
+    /// Scatters one thread's record into the lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (call [`CycleView::resize`] first).
+    pub fn set_thread(&mut self, i: usize, tv: &ThreadView) {
+        self.set_hot(i, tv.icount, tv.usage, tv.l1d_pending, tv.l2_pending);
+        self.set_progress(i, tv.committed, tv.l2_misses, tv.loads);
+    }
+
+    /// Refreshes one thread's per-cycle ("hot") lanes: icount, usage and
+    /// the pending-miss counters. The progress counters are refreshed
+    /// separately ([`CycleView::set_progress`]) so a caller can skip them
+    /// for policies that never read them
+    /// ([`Policy::wants_progress_counters`]).
+    #[inline]
+    pub fn set_hot(
+        &mut self,
+        i: usize,
+        icount: u32,
+        usage: PerResource<u32>,
+        l1d_pending: u32,
+        l2_pending: u32,
+    ) {
+        self.icount[i] = icount;
+        self.usage[i] = usage;
+        self.l1d_pending[i] = l1d_pending;
+        self.l2_pending[i] = l2_pending;
+    }
+
+    /// Refreshes one thread's cumulative progress lanes (committed, L2
+    /// misses, loads). Only meaningful to policies that opted in via
+    /// [`Policy::wants_progress_counters`]; for everyone else the caller
+    /// may leave these lanes stale.
+    #[inline]
+    pub fn set_progress(&mut self, i: usize, committed: u64, l2_misses: u64, loads: u64) {
+        self.committed[i] = committed;
+        self.l2_misses[i] = l2_misses;
+        self.loads[i] = loads;
     }
 
     /// Number of hardware threads.
+    #[inline]
     pub fn thread_count(&self) -> usize {
-        self.threads.len()
+        self.icount.len()
+    }
+
+    // ------------------------------------------------- per-thread accessors
+
+    /// Pre-issue instruction count of thread `t` (the ICOUNT key).
+    #[inline]
+    pub fn icount(&self, t: ThreadId) -> u32 {
+        self.icount[t.index()]
+    }
+
+    /// Pending L1 data misses of thread `t`.
+    #[inline]
+    pub fn l1d_pending(&self, t: ThreadId) -> u32 {
+        self.l1d_pending[t.index()]
+    }
+
+    /// Detected pending L2 misses of thread `t`.
+    #[inline]
+    pub fn l2_pending(&self, t: ThreadId) -> u32 {
+        self.l2_pending[t.index()]
+    }
+
+    /// Resource usage of thread `t`.
+    #[inline]
+    pub fn usage(&self, t: ThreadId) -> &PerResource<u32> {
+        &self.usage[t.index()]
+    }
+
+    /// Instructions committed by thread `t` so far.
+    #[inline]
+    pub fn committed(&self, t: ThreadId) -> u64 {
+        self.committed[t.index()]
+    }
+
+    /// L2 misses of thread `t` so far.
+    #[inline]
+    pub fn l2_misses(&self, t: ThreadId) -> u64 {
+        self.l2_misses[t.index()]
+    }
+
+    /// Loads executed by thread `t` so far.
+    #[inline]
+    pub fn loads(&self, t: ThreadId) -> u64 {
+        self.loads[t.index()]
+    }
+
+    // ------------------------------------------------------ batch accessors
+
+    /// All threads' pre-issue instruction counts, indexed by thread id —
+    /// the lane the ICOUNT priority sort scans.
+    #[inline]
+    pub fn icounts(&self) -> &[u32] {
+        &self.icount
+    }
+
+    /// All threads' pending-L1-data-miss counters (DCRA's fast/slow
+    /// classification input).
+    #[inline]
+    pub fn l1d_pendings(&self) -> &[u32] {
+        &self.l1d_pending
+    }
+
+    /// All threads' detected-pending-L2-miss counters.
+    #[inline]
+    pub fn l2_pendings(&self) -> &[u32] {
+        &self.l2_pending
+    }
+
+    /// All threads' resource-usage counters (allocation-policy gating
+    /// sweeps).
+    #[inline]
+    pub fn usages(&self) -> &[PerResource<u32>] {
+        &self.usage
+    }
+
+    /// All threads' committed-instruction counters.
+    #[inline]
+    pub fn committed_counts(&self) -> &[u64] {
+        &self.committed
+    }
+
+    /// All threads' L2-miss counters.
+    #[inline]
+    pub fn l2_miss_counts(&self) -> &[u64] {
+        &self.l2_misses
+    }
+
+    /// All threads' executed-load counters.
+    #[inline]
+    pub fn load_counts(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// Increments the usage mirror of thread `t` for `kind` — used by the
+    /// simulator's dispatch stage so hard-partition policies see
+    /// same-cycle allocations immediately.
+    #[inline]
+    pub fn bump_usage(&mut self, t: ThreadId, kind: ResourceKind) {
+        self.usage[t.index()][kind] += 1;
     }
 }
 
@@ -166,6 +367,28 @@ pub trait Policy {
         false
     }
 
+    /// `true` if the policy's [`Policy::may_dispatch`] can ever refuse a
+    /// dispatch. When `false` (the default, correct for every policy that
+    /// leaves `may_dispatch` at its always-`true` default), the simulator's
+    /// dispatch stage skips the per-instruction policy call entirely and
+    /// dispatches each thread's burst against the structural limits alone.
+    /// Defaults to [`Policy::wants_dispatch_view`], which is exact for the
+    /// canonical nine (only SRA gates dispatch, and it needs the view).
+    fn wants_dispatch_gate(&self) -> bool {
+        self.wants_dispatch_view()
+    }
+
+    /// `true` if the policy reads the cumulative progress counters of the
+    /// view — [`CycleView::committed`], [`CycleView::l2_misses`],
+    /// [`CycleView::loads`] or their batch lanes. When `false` (the
+    /// default) the simulator skips refreshing those lanes each cycle;
+    /// policies that read them without overriding this hint see stale
+    /// values. FLUSH++ (window pressure) and the degenerate-case DCRA
+    /// variants override it.
+    fn wants_progress_counters(&self) -> bool {
+        false
+    }
+
     /// `true` if the policy consumes [`Policy::on_squash_inst`]. The
     /// simulator skips the decoded-record lookup for every squashed
     /// instruction when the notification would be a no-op (squash rates
@@ -201,11 +424,7 @@ mod tests {
     use super::*;
 
     fn view(n: usize) -> CycleView {
-        CycleView {
-            now: 0,
-            threads: vec![ThreadView::default(); n],
-            totals: PerResource::filled(80),
-        }
+        CycleView::new(0, PerResource::filled(80), &vec![ThreadView::default(); n])
     }
 
     #[test]
@@ -227,9 +446,39 @@ mod tests {
         let v = view(2);
         assert!(rr.fetch_gate(ThreadId::new(0), &v));
         assert!(rr.may_dispatch(ThreadId::new(0), QueueKind::Int, Some(RegClass::Int), &v));
+        assert!(!rr.wants_dispatch_gate());
         assert_eq!(
             rr.on_l2_miss_detected(ThreadId::new(0), &v),
             MissResponse::Continue
         );
+    }
+
+    #[test]
+    fn lanes_mirror_records() {
+        let threads = [
+            ThreadView {
+                icount: 4,
+                l1d_pending: 1,
+                l2_pending: 2,
+                committed: 30,
+                l2_misses: 5,
+                loads: 11,
+                ..ThreadView::default()
+            },
+            ThreadView::default(),
+        ];
+        let mut v = CycleView::new(9, PerResource::filled(80), &threads);
+        assert_eq!(v.icounts(), &[4, 0]);
+        assert_eq!(v.l1d_pendings(), &[1, 0]);
+        assert_eq!(v.l2_pendings(), &[2, 0]);
+        assert_eq!(v.committed_counts(), &[30, 0]);
+        assert_eq!(v.l2_miss_counts(), &[5, 0]);
+        assert_eq!(v.load_counts(), &[11, 0]);
+        let t0 = ThreadId::new(0);
+        assert_eq!(v.icount(t0), 4);
+        assert_eq!(v.committed(t0), 30);
+        v.bump_usage(t0, ResourceKind::IntQueue);
+        assert_eq!(v.usage(t0)[ResourceKind::IntQueue], 1);
+        assert_eq!(v.usages()[0][ResourceKind::IntQueue], 1);
     }
 }

@@ -1,0 +1,314 @@
+//! Timing events: the wheel, the wakeup scoreboard entries, and the
+//! event-drain stage that starts every cycle.
+//!
+//! This module owns everything that happens *between* cycles: completion
+//! and L2-detection events scheduled by the issue stage land on the
+//! [`EventWheel`], and the drain at the top of each cycle delivers them —
+//! waking consumers onto the per-queue ready lists ([`ReadyEntry`]) and
+//! applying policy miss responses.
+
+use super::Simulator;
+use crate::core::rings::SeqRing;
+use crate::inst::Stage;
+use crate::policy::{MissResponse, Policy};
+use crate::thread::NO_WAITER;
+use smt_isa::{InstClass, ThreadId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A timing event scheduled on the simulator's event queue. Field order
+/// is the comparison order (and the per-cycle drain order): `(at, uid,
+/// tid, kind, seq)` — drain-order-equivalent to the original `(at, uid,
+/// tid, seq, kind)` because `uid` is globally unique per incarnation, so
+/// two distinct events can only tie through `kind`. `tid` is narrowed to
+/// `u32` and `kind` packed before `seq` purely to keep the struct at 32
+/// bytes — the wheel sorts one bucket of these every cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Event {
+    pub at: u64,
+    pub uid: u64,
+    pub tid: u32,
+    pub kind: EventKind,
+    pub seq: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum EventKind {
+    /// An executing instruction's result becomes available.
+    Complete,
+    /// An outstanding load is recognised as an L2 miss (one L2 latency
+    /// after issue — the "detected too late" effect of Section 2).
+    DetectL2,
+}
+
+/// Ready-list entry: ordered by `(dispatched_at, seq·8 + tid)` — exactly
+/// the `(dispatched_at, seq, tid)` age order the scan-based issue stage
+/// used (`tid < ThreadId::MAX_THREADS = 8`, so the packing is
+/// order-preserving). `uid` identifies the incarnation so entries left
+/// behind by a squash are recognised as stale when popped; it is excluded
+/// from the ordering (and equality) because at most one entry per
+/// `(dispatched_at, seq, tid)` can ever be live — a squashed incarnation
+/// is re-dispatched at a strictly later cycle.
+#[derive(Clone, Copy)]
+pub(crate) struct ReadyEntry {
+    pub at: u64,
+    pub seq_tid: u64,
+    pub uid: u64,
+}
+
+impl PartialEq for ReadyEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq_tid) == (other.at, other.seq_tid)
+    }
+}
+
+impl Eq for ReadyEntry {}
+
+impl ReadyEntry {
+    #[inline]
+    pub fn new(at: u64, seq: u64, tid: usize, uid: u64) -> Self {
+        debug_assert!(tid < smt_isa::ThreadId::MAX_THREADS);
+        ReadyEntry {
+            at,
+            seq_tid: (seq << 3) | tid as u64,
+            uid,
+        }
+    }
+
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        self.seq_tid >> 3
+    }
+
+    #[inline]
+    pub fn tid(&self) -> usize {
+        (self.seq_tid & 7) as usize
+    }
+}
+
+impl Ord for ReadyEntry {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq_tid).cmp(&(other.at, other.seq_tid))
+    }
+}
+
+impl PartialOrd for ReadyEntry {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Timing wheel for the simulator's completion/detection events.
+///
+/// Event latencies are bounded by the memory system (worst case: L1 + L2 +
+/// memory + TLB penalty), so events land in a power-of-two ring of
+/// per-cycle buckets (a [`SeqRing`] keyed by delivery cycle): O(1)
+/// scheduling and draining instead of a binary heap's `O(log n)` tuple
+/// comparisons. Each cycle's bucket is sorted before processing, which
+/// reproduces the heap's global `(at, uid, tid, seq, kind)` drain order
+/// exactly — every event in the bucket shares the same `at`. Events beyond
+/// the wheel horizon (odd configurations only) spill into a small overflow
+/// heap that is merged on drain.
+#[derive(Debug)]
+pub(crate) struct EventWheel {
+    slots: SeqRing<Vec<Event>>,
+    overflow: BinaryHeap<Reverse<Event>>,
+    /// Drain scratch, reused every cycle.
+    due: Vec<Event>,
+}
+
+impl EventWheel {
+    /// Builds a wheel covering at least `max_delay` cycles of look-ahead.
+    pub fn new(max_delay: u64) -> Self {
+        EventWheel {
+            slots: SeqRing::new((max_delay + 2).max(16) as usize, Vec::new()),
+            overflow: BinaryHeap::new(),
+            due: Vec::new(),
+        }
+    }
+
+    /// Schedules `ev`. All real latencies are at least one cycle; should a
+    /// degenerate configuration produce `at <= now`, the event lands in the
+    /// next cycle's bucket (this cycle's drain has already run), which is
+    /// exactly when the replaced binary-heap drain would have delivered it.
+    pub fn push(&mut self, now: u64, ev: Event) {
+        let deliver_at = ev.at.max(now + 1);
+        if ((deliver_at - now) as usize) < self.slots.capacity() {
+            self.slots.at_mut(deliver_at).push(ev);
+        } else {
+            self.overflow.push(Reverse(ev));
+        }
+    }
+
+    /// `true` when nothing is due at `now` — lets the drain stage skip the
+    /// buffer shuffle entirely on quiet cycles.
+    #[inline]
+    pub fn is_idle(&self, now: u64) -> bool {
+        self.slots.at(now).is_empty()
+            && self.overflow.peek().map(|&Reverse(ev)| ev.at > now) != Some(false)
+    }
+
+    /// Moves every event due at `now` into the `due` scratch buffer,
+    /// sorted in the canonical event order, and returns the buffer by
+    /// value for borrow-free iteration (return it via [`Self::restore`]).
+    pub fn take_due(&mut self, now: u64) -> Vec<Event> {
+        let mut due = std::mem::take(&mut self.due);
+        due.clear();
+        due.append(self.slots.at_mut(now));
+        while let Some(&Reverse(ev)) = self.overflow.peek() {
+            if ev.at > now {
+                break;
+            }
+            self.overflow.pop();
+            due.push(ev);
+        }
+        debug_assert!(due.iter().all(|e| e.at <= now), "stale bucket entry");
+        if due.len() > 1 {
+            due.sort_unstable();
+        }
+        due
+    }
+
+    /// Hands the drain buffer back for reuse.
+    pub fn restore(&mut self, due: Vec<Event>) {
+        self.due = due;
+    }
+
+    /// Discards every scheduled event, retaining all allocations. Used by
+    /// [`Simulator::reset`] when a session is reused for a new run.
+    pub fn clear(&mut self) {
+        for at in 0..self.slots.capacity() as u64 {
+            self.slots.at_mut(at).clear();
+        }
+        self.overflow.clear();
+        self.due.clear();
+    }
+}
+
+impl Simulator {
+    /// Event-drain stage: delivers every event due this cycle in canonical
+    /// order. Runs before any pipeline stage so completions wake consumers
+    /// for the same cycle's issue.
+    pub(crate) fn drain_events(&mut self) {
+        if self.events.is_idle(self.now) {
+            return;
+        }
+        let due = self.events.take_due(self.now);
+        for ev in &due {
+            // The instruction may have been squashed (uid mismatch) or even
+            // re-fetched under the same seq; both are stale.
+            let tid = ev.tid as usize;
+            let valid = self.threads[tid]
+                .get(ev.seq)
+                .map(|i| i.uid == ev.uid)
+                .unwrap_or(false);
+            if !valid {
+                continue;
+            }
+            match ev.kind {
+                EventKind::Complete => self.complete_inst(tid, ev.seq),
+                EventKind::DetectL2 => self.detect_l2(tid, ev.seq),
+            }
+        }
+        self.events.restore(due);
+    }
+
+    fn complete_inst(&mut self, tid: usize, seq: u64) {
+        let t = ThreadId::new(tid);
+        let th = &mut self.threads[tid];
+        debug_assert_eq!(th.stage_of(seq), Stage::Executing);
+        th.set_stage(seq, Stage::Done);
+        let inst = th.at(seq);
+        let mispredicted = inst.mispredicted();
+        let l1_miss = inst.l1_miss();
+        let l2_miss = inst.l2_miss();
+        let l2_detected = inst.l2_detected();
+        let pc = inst.pc;
+        let is_load = inst.class == InstClass::Load;
+
+        if l1_miss {
+            th.l1d_pending -= 1;
+        }
+        if l2_miss && l2_detected {
+            th.l2_pending -= 1;
+        }
+        if th.stall_on_load == Some(seq) {
+            th.stall_on_load = None;
+        }
+
+        // Event-driven wakeup: this result is now available, so walk the
+        // completed instruction's consumer wait-list, decrement each live
+        // consumer's outstanding-operand count, and move the newly-ready
+        // ones onto their queue's ready list. Nodes whose uid no longer
+        // matches belong to squashed incarnations and are just recycled.
+        let mut node = th.detach_waiters(seq);
+        while node != NO_WAITER {
+            let (w, next) = th.take_waiter(node);
+            node = next;
+            debug_assert!(w.seq > seq, "consumers are younger than their producer");
+            let live = th.get(w.seq).is_some_and(|c| c.uid == w.uid)
+                && th.stage_of(w.seq) == Stage::Dispatched;
+            if live {
+                let consumer = th.at_mut(w.seq);
+                consumer.pending_ops -= 1;
+                if consumer.pending_ops == 0 {
+                    let entry = ReadyEntry::new(consumer.dispatched_at, w.seq, tid, consumer.uid);
+                    let q = consumer.class.queue();
+                    self.ready[q.index()].push(Reverse(entry));
+                }
+            }
+        }
+
+        if is_load {
+            self.policy.on_load_complete(t, pc, l1_miss);
+        }
+        if l1_miss {
+            let level = if l2_miss {
+                smt_mem::HitLevel::Memory
+            } else {
+                smt_mem::HitLevel::L2
+            };
+            self.policy.on_miss_resolved(t, pc, level);
+        }
+        if mispredicted {
+            // The thread kept fetching past the unresolved branch (the
+            // trace-driven stand-in for wrong-path execution): those
+            // instructions held fetch slots and shared resources exactly
+            // like wrong-path work would, and are discarded now. Fetch
+            // redirects with a short bubble; the refetched instructions
+            // additionally pay the front-end depth before renaming again.
+            self.squash_after(tid, seq);
+            let th = &mut self.threads[tid];
+            th.icache_stall_until = th.icache_stall_until.max(self.now + 2);
+        }
+    }
+
+    fn detect_l2(&mut self, tid: usize, seq: u64) {
+        let t = ThreadId::new(tid);
+        {
+            let th = &mut self.threads[tid];
+            assert!(th.get(seq).is_some(), "detecting unknown instruction");
+            if th.stage_of(seq) != Stage::Executing || th.at(seq).l2_detected() {
+                return;
+            }
+            th.at_mut(seq).set_l2_detected();
+            th.l2_pending += 1;
+        }
+        let mut view = std::mem::take(&mut self.scratch_view);
+        self.fill_view(&mut view);
+        let response = self.policy.on_l2_miss_detected(t, &view);
+        self.scratch_view = view;
+        match response {
+            MissResponse::Continue => {}
+            MissResponse::Stall => {
+                self.threads[tid].stall_on_load = Some(seq);
+            }
+            MissResponse::Flush => {
+                self.squash_after(tid, seq);
+                self.threads[tid].stall_on_load = Some(seq);
+            }
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! The cycle-level SMT simulator core, as a staged pipeline.
+//!
+//! Each pipeline stage lives in its own module and owns its slice of the
+//! machine behind a narrow interface, so the per-cycle loop in
+//! [`Simulator::step`] reads as the pipeline diagram:
+//!
+//! | module      | stage                                                    |
+//! |-------------|----------------------------------------------------------|
+//! | [`events`]  | timing wheel + wakeup scoreboard (completion, L2 detect) |
+//! | [`commit`]  | in-order retirement, round-robin across threads          |
+//! | [`issue`]   | ready-list pop, oldest-first, per-queue unit limits      |
+//! | [`dispatch`]| rename/allocate against shared structural limits         |
+//! | [`fetch`]   | I-cache access, branch prediction, fetch-queue fill      |
+//! | [`squash`]  | misprediction/flush recovery (shared by events + policy) |
+//! | [`rings`]   | the power-of-two seq-indexed ring storage they share     |
+//! | [`profile`] | per-stage wall-clock attribution for `bench_snapshot`    |
+//!
+//! Every stage is *batched*: it processes per-thread bursts (contiguous
+//! sequence-number runs) with thread-invariant state hoisted out of the
+//! inner loop, instead of re-deriving it per instruction. The stage lane
+//! of the window ring is struct-of-arrays (see [`crate::thread`]), so the
+//! burst scans are contiguous byte scans. Batching is pure mechanics —
+//! the golden determinism tests pin the output bit-identical to the
+//! original one-instruction-at-a-time loop.
+
+pub(crate) mod commit;
+pub(crate) mod debug;
+pub(crate) mod dispatch;
+pub(crate) mod events;
+pub(crate) mod fetch;
+pub(crate) mod issue;
+pub(crate) mod profile;
+pub(crate) mod rings;
+pub(crate) mod squash;
+
+pub use profile::StageProfile;
+
+use crate::config::SimConfig;
+use crate::policy::{AnyPolicy, CycleView, Policy};
+use crate::stats::{SimResult, ThreadStats};
+use crate::thread::ThreadState;
+use events::{EventWheel, ReadyEntry};
+use smt_bpred::BranchPredictor;
+use smt_isa::{InstClass, PerResource, ThreadId};
+use smt_mem::MemoryHierarchy;
+use smt_workloads::{BenchmarkProfile, TraceGenerator};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The cycle-level SMT processor simulator.
+///
+/// One instance simulates one multiprogrammed run: a set of per-thread
+/// trace generators executing on the shared pipeline described by
+/// [`SimConfig`], arbitrated by a [`Policy`].
+///
+/// # Examples
+///
+/// ```
+/// use smt_sim::{SimConfig, Simulator};
+/// use smt_sim::policy::RoundRobin;
+/// use smt_workloads::spec;
+///
+/// let cfg = SimConfig::baseline(2);
+/// let profiles = [spec::profile("gzip").unwrap(), spec::profile("gcc").unwrap()];
+/// let mut sim = Simulator::new(cfg, &profiles, RoundRobin::default(), 42);
+/// sim.run_cycles(1_000);
+/// let result = sim.result();
+/// assert!(result.total_committed() > 0);
+/// ```
+pub struct Simulator {
+    pub(crate) config: SimConfig,
+    pub(crate) threads: Vec<ThreadState>,
+    pub(crate) policy: AnyPolicy,
+    pub(crate) bpred: BranchPredictor,
+    pub(crate) mem: MemoryHierarchy,
+    pub(crate) now: u64,
+    pub(crate) measure_start: u64,
+    pub(crate) uid_counter: u64,
+    // Shared-resource occupancy.
+    pub(crate) rob_used: u32,
+    pub(crate) iq_used: [u32; 3],
+    pub(crate) regs_used: [u32; 2],
+    pub(crate) usage: Vec<PerResource<u32>>,
+    pub(crate) events: EventWheel,
+    pub(crate) stats: Vec<ThreadStats>,
+    pub(crate) commit_rr: usize,
+    /// Event-driven wakeup scoreboard: one ready list per issue queue,
+    /// ordered oldest-first by [`ReadyEntry`]. The issue stage pops from
+    /// these instead of rescanning every in-flight instruction.
+    pub(crate) ready: [BinaryHeap<Reverse<ReadyEntry>>; 3],
+    /// Reusable per-cycle policy view (refreshed in place at the start of
+    /// every cycle; also used by `fetch`, which sees pre-commit state).
+    pub(crate) cycle_view: CycleView,
+    /// Reusable mid-cycle policy view for `dispatch` / `detect_l2`, which
+    /// need post-commit/issue state.
+    pub(crate) scratch_view: CycleView,
+    /// Reusable fetch-order buffer handed to the policy each cycle.
+    pub(crate) order_scratch: Vec<ThreadId>,
+    /// Reusable per-thread MLP sample buffer.
+    pub(crate) mlp_scratch: Vec<u32>,
+    /// `config.resource_totals()`, computed once — the configuration is
+    /// immutable after construction and the view is refreshed every cycle.
+    pub(crate) totals: PerResource<u32>,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("policy", &self.policy.name())
+            .field("now", &self.now)
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Builds a simulator running one thread per profile under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles.len() != config.threads` or the configuration is
+    /// invalid.
+    pub fn new(
+        config: SimConfig,
+        profiles: &[&BenchmarkProfile],
+        policy: impl Into<AnyPolicy>,
+        seed: u64,
+    ) -> Self {
+        config.validate().expect("invalid simulator configuration");
+        assert_eq!(
+            profiles.len(),
+            config.threads,
+            "need exactly one benchmark per hardware thread"
+        );
+        let window_span = (config.rob_entries + config.fetch_queue) as usize;
+        let threads: Vec<ThreadState> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                ThreadState::new(
+                    TraceGenerator::new(
+                        p,
+                        seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64),
+                        i as u64,
+                    ),
+                    window_span,
+                )
+            })
+            .collect();
+        let n = threads.len();
+        let totals = config.resource_totals();
+        Simulator {
+            bpred: BranchPredictor::new(&config.bpred, n),
+            mem: MemoryHierarchy::new(&config.mem, n),
+            threads,
+            policy: policy.into(),
+            now: 0,
+            measure_start: 0,
+            uid_counter: 0,
+            rob_used: 0,
+            iq_used: [0; 3],
+            regs_used: [0; 2],
+            usage: vec![PerResource::default(); n],
+            events: EventWheel::new(
+                u64::from(config.regread_delay)
+                    + u64::from(config.mem.dl1.latency)
+                    + u64::from(config.mem.l2.latency)
+                    + u64::from(config.mem.memory_latency)
+                    + u64::from(config.mem.tlb_miss_penalty)
+                    + 64,
+            ),
+            stats: vec![ThreadStats::default(); n],
+            config,
+            commit_rr: 0,
+            ready: [BinaryHeap::new(), BinaryHeap::new(), BinaryHeap::new()],
+            cycle_view: CycleView::default(),
+            scratch_view: CycleView::default(),
+            order_scratch: Vec::new(),
+            mlp_scratch: vec![0; n],
+            totals,
+        }
+    }
+
+    /// Re-initialises the simulator in place for a fresh run on the same
+    /// machine configuration: new trace generators, a new policy, cold
+    /// caches/predictors, zeroed counters and an empty window — exactly the
+    /// state [`Simulator::new`] would produce, but with every long-lived
+    /// allocation (instruction windows, cache tag arrays, event wheel,
+    /// ready lists, waiter pools) retained. This is what makes sweep
+    /// sessions cheap: hundreds of short runs reuse one simulator instead
+    /// of reallocating the whole machine per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles.len() != config.threads` (the thread count is
+    /// fixed at construction).
+    pub fn reset(
+        &mut self,
+        profiles: &[&BenchmarkProfile],
+        policy: impl Into<AnyPolicy>,
+        seed: u64,
+    ) {
+        assert_eq!(
+            profiles.len(),
+            self.threads.len(),
+            "need exactly one benchmark per hardware thread"
+        );
+        for (i, (th, p)) in self.threads.iter_mut().zip(profiles).enumerate() {
+            th.reset(TraceGenerator::new(
+                p,
+                seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64),
+                i as u64,
+            ));
+        }
+        self.policy = policy.into();
+        self.bpred.reset_cold();
+        self.mem.reset_cold();
+        self.now = 0;
+        self.measure_start = 0;
+        self.uid_counter = 0;
+        self.rob_used = 0;
+        self.iq_used = [0; 3];
+        self.regs_used = [0; 2];
+        for u in &mut self.usage {
+            *u = PerResource::default();
+        }
+        self.events.clear();
+        for s in &mut self.stats {
+            *s = ThreadStats::default();
+        }
+        self.commit_rr = 0;
+        for r in &mut self.ready {
+            r.clear();
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The configuration of this machine.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The memory hierarchy (for cache statistics).
+    pub fn memory(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// Raw cache statistics `(il1, dl1, l2)` of the hierarchy.
+    pub fn cache_stats_helper(
+        &self,
+    ) -> (
+        smt_mem::CacheStats,
+        smt_mem::CacheStats,
+        smt_mem::CacheStats,
+    ) {
+        self.mem.cache_stats()
+    }
+
+    /// The branch predictor (for misprediction statistics).
+    pub fn predictor(&self) -> &BranchPredictor {
+        &self.bpred
+    }
+
+    /// Name of the active policy.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// Clears measured statistics; subsequent results count from this
+    /// cycle. Use after a warm-up period.
+    pub fn reset_stats(&mut self) {
+        self.measure_start = self.now;
+        for s in &mut self.stats {
+            *s = ThreadStats::default();
+        }
+        self.mem.reset_stats();
+        self.bpred.reset_stats();
+    }
+
+    /// Functionally warms the caches and TLBs: streams the first
+    /// `insts_per_thread` instructions of every thread's trace through the
+    /// memory hierarchy without simulating timing, then clears the
+    /// statistics. Equivalent to the "functional warm-up" phase of
+    /// checkpoint-based simulators; it removes cold-start effects that
+    /// would otherwise need millions of timed cycles (and would bias
+    /// policies that throttle on cold misses).
+    ///
+    /// The generators are cloned, so the timed simulation still replays the
+    /// same instruction stream from the beginning — every prewarmed line is
+    /// revisited warm.
+    pub fn prewarm(&mut self, insts_per_thread: u64) {
+        for tid in 0..self.threads.len() {
+            let t = ThreadId::new(tid);
+            let mut gen = self.threads[tid].generator().decorrelated(0xCAFE);
+            for _ in 0..insts_per_thread {
+                let inst = gen.next_inst();
+                self.mem.access_inst(t, inst.pc, 0);
+                if let Some(m) = inst.mem {
+                    let is_write = inst.class == InstClass::Store;
+                    self.mem.access_data(t, m.addr, is_write, 0);
+                }
+            }
+        }
+        self.mem.reset_stats();
+    }
+
+    /// Runs `n` cycles.
+    pub fn run_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Runs until every thread has committed at least `insts` instructions
+    /// since the last [`Self::reset_stats`], or `max_cycles` elapse.
+    pub fn run_until_committed(&mut self, insts: u64, max_cycles: u64) {
+        let limit = self.now + max_cycles;
+        while self.now < limit && self.stats.iter().any(|s| s.committed < insts) {
+            self.step();
+        }
+    }
+
+    /// Snapshot of the measured statistics.
+    pub fn result(&self) -> SimResult {
+        SimResult {
+            cycles: self.now - self.measure_start,
+            policy: self.policy.name().to_string(),
+            threads: self.stats.clone(),
+        }
+    }
+
+    /// Refreshes a reusable per-cycle view in place — the allocation-free
+    /// replacement for building a fresh `CycleView` every call. The view's
+    /// struct-of-arrays lanes are scattered directly from the simulator's
+    /// state; policies read them back as contiguous batch slices. The
+    /// cumulative progress lanes are refreshed only for policies that
+    /// declared they read them.
+    pub(crate) fn fill_view(&self, view: &mut CycleView) {
+        view.now = self.now;
+        view.totals = self.totals;
+        let n = self.threads.len();
+        view.resize(n);
+        for (i, th) in self.threads.iter().enumerate() {
+            view.set_hot(
+                i,
+                th.pre_issue,
+                self.usage[i],
+                th.l1d_pending,
+                th.l2_pending,
+            );
+        }
+        if self.policy.wants_progress_counters() {
+            for (i, s) in self.stats.iter().enumerate() {
+                view.set_progress(i, s.committed, s.l2_misses, s.loads);
+            }
+        }
+    }
+
+    /// Public alias of [`Self::step`] for instrumentation binaries.
+    #[doc(hidden)]
+    pub fn step_public(&mut self) {
+        self.step();
+    }
+
+    /// Advances the machine one cycle. Steady-state allocation-free: the
+    /// policy view, fetch order, ready lists and MLP sample buffer are all
+    /// long-lived buffers reused across cycles.
+    pub fn step(&mut self) {
+        let mut view = std::mem::take(&mut self.cycle_view);
+        let mut order = std::mem::take(&mut self.order_scratch);
+        self.fill_view(&mut view);
+        self.policy.begin_cycle(&view);
+        order.clear();
+        self.policy.fetch_order(&view, &mut order);
+
+        self.drain_events();
+        self.commit();
+        self.issue();
+        self.dispatch(&order);
+        self.fetch(&order, &view);
+        self.sample_mlp();
+        self.now += 1;
+        self.cycle_view = view;
+        self.order_scratch = order;
+    }
+
+    pub(crate) fn sample_mlp(&mut self) {
+        self.mem
+            .outstanding_l2_misses_into(self.now, &mut self.mlp_scratch);
+        for (tid, &c) in self.mlp_scratch.iter().enumerate() {
+            if c > 0 {
+                self.stats[tid].mlp_sum += u64::from(c);
+                self.stats[tid].mlp_cycles += 1;
+            }
+        }
+    }
+
+    /// Current pre-issue instruction count of a thread — the quantity the
+    /// ICOUNT fetch policy ranks threads by.
+    pub fn thread_icount(&self, t: ThreadId) -> u32 {
+        self.threads[t.index()].pre_issue
+    }
+
+    /// Current per-thread occupancy of each controlled resource — the
+    /// hardware usage counters of the paper's Section 3.4. Sampled by
+    /// [`crate::watch::OccupancyRecorder`].
+    pub fn thread_usage(&self, t: ThreadId) -> PerResource<u32> {
+        self.usage[t.index()]
+    }
+
+    /// Debug snapshot of why a thread may be unable to fetch:
+    /// `(blocked_on_branch, icache_stalled, stalled_on_load, fetch_queue_len)`.
+    #[doc(hidden)]
+    pub fn thread_fetch_state(&self, t: ThreadId) -> (bool, bool, bool, usize) {
+        let th = &self.threads[t.index()];
+        (
+            false, // fetch no longer blocks on unresolved branches
+            th.icache_stall_until > self.now,
+            th.stall_on_load
+                .map(|l| th.get(l).is_some() && th.stage_of(l) != crate::inst::Stage::Done)
+                .unwrap_or(false),
+            th.fetch_queue_len(),
+        )
+    }
+
+    /// `true` while the given thread's generator reports a memory phase
+    /// (ground truth for the Table-5 experiment).
+    pub fn thread_in_memory_phase(&self, t: ThreadId) -> bool {
+        self.threads[t.index()].generator().in_memory_phase()
+    }
+
+    /// The thread's pending L1-data-miss count (the paper's slow/fast phase
+    /// signal, Section 3.1.1).
+    pub fn thread_l1d_pending(&self, t: ThreadId) -> u32 {
+        self.threads[t.index()].l1d_pending
+    }
+}
+
+#[cfg(test)]
+mod tests;

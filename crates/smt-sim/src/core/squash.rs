@@ -1,0 +1,87 @@
+//! Squash/recovery: unwind a thread's window after a branch misprediction
+//! or a policy-initiated flush, refunding every shared resource the
+//! squashed instructions held.
+
+use super::Simulator;
+use crate::inst::Stage;
+use crate::policy::Policy;
+use smt_isa::ThreadId;
+
+impl Simulator {
+    /// Squashes every instruction of `tid` younger than `cut`, refunding
+    /// all resources they hold, and rewinds fetch to `cut + 1`.
+    pub(crate) fn squash_after(&mut self, tid: usize, cut: u64) {
+        let mut squashed_ras_activity = false;
+        let notify_squashes = self.policy.wants_squash_inst();
+        loop {
+            let th = &mut self.threads[tid];
+            if th.window_is_empty() || th.next_fetch - 1 <= cut {
+                break;
+            }
+            let (seq, inst, stage) = th.pop_youngest();
+            // Recycle the squashed instruction's consumer wait-list (its
+            // consumers are younger, so they are being squashed too; ready
+            // entries and wait-list nodes that still name this incarnation
+            // elsewhere are recognised as stale by uid).
+            th.free_waiters(inst.waiters_head);
+            match stage {
+                Stage::Fetched => {
+                    th.pre_issue -= 1;
+                }
+                Stage::Dispatched => {
+                    th.pre_issue -= 1;
+                    self.rob_used -= 1;
+                    let q = inst.class.queue();
+                    self.iq_used[q.index()] -= 1;
+                    self.usage[tid][q.resource()] -= 1;
+                    if let Some(d) = inst.dest {
+                        self.regs_used[d.index()] -= 1;
+                        self.usage[tid][d.resource()] -= 1;
+                    }
+                }
+                Stage::Executing => {
+                    self.rob_used -= 1;
+                    if let Some(d) = inst.dest {
+                        self.regs_used[d.index()] -= 1;
+                        self.usage[tid][d.resource()] -= 1;
+                    }
+                    let th = &mut self.threads[tid];
+                    if inst.l1_miss() {
+                        th.l1d_pending -= 1;
+                    }
+                    if inst.l2_miss() && inst.l2_detected() {
+                        th.l2_pending -= 1;
+                    }
+                }
+                Stage::Done => {
+                    self.rob_used -= 1;
+                    if let Some(d) = inst.dest {
+                        self.regs_used[d.index()] -= 1;
+                        self.usage[tid][d.resource()] -= 1;
+                    }
+                }
+            }
+            if inst.pushes_ras() {
+                squashed_ras_activity = true;
+            }
+            // The decoded record outlives the in-flight instruction in the
+            // replay buffer (squashed instructions sit above the commit
+            // point), so the squash notification reads it from there —
+            // skipped entirely for the policies that ignore it.
+            if notify_squashes {
+                let decoded = self.threads[tid].decoded_at(seq);
+                self.policy.on_squash_inst(ThreadId::new(tid), &decoded);
+            }
+            self.stats[tid].squashed += 1;
+        }
+        let th = &mut self.threads[tid];
+        debug_assert_eq!(th.next_fetch, cut + 1, "squash rewound past the cut");
+        th.next_dispatch = th.next_dispatch.min(cut + 1);
+        if th.stall_on_load.map(|l| l > cut).unwrap_or(false) {
+            th.stall_on_load = None;
+        }
+        if squashed_ras_activity {
+            self.bpred.flush_thread(ThreadId::new(tid));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+use super::*;
+use crate::policy::RoundRobin;
+use smt_workloads::spec;
+
+fn sim(benches: &[&str], policy: impl Into<AnyPolicy>) -> Simulator {
+    let cfg = SimConfig::baseline(benches.len());
+    let profiles: Vec<_> = benches.iter().map(|b| spec::profile(b).unwrap()).collect();
+    Simulator::new(cfg, &profiles, policy, 7)
+}
+
+#[test]
+fn single_thread_makes_progress() {
+    let mut s = sim(&["gzip"], RoundRobin::default());
+    s.run_cycles(200_000);
+    s.reset_stats();
+    s.run_cycles(50_000);
+    let r = s.result();
+    // gzip reaches ~2.3 IPC in full steady state (after the warm
+    // working set's first sweep); this shorter run must at least show
+    // healthy sustained progress.
+    assert!(
+        r.total_committed() > 30_000,
+        "IPC too low: {}",
+        r.throughput()
+    );
+    assert!(r.throughput() <= 8.0, "cannot exceed machine width");
+}
+
+#[test]
+fn high_ilp_thread_beats_memory_bound_thread() {
+    let mut fast = sim(&["gzip"], RoundRobin::default());
+    fast.run_cycles(150_000);
+    let mut slow = sim(&["mcf"], RoundRobin::default());
+    slow.run_cycles(150_000);
+    let (f, s) = (fast.result().throughput(), slow.result().throughput());
+    assert!(f > 1.5 * s, "gzip ({f:.2}) should far outrun mcf ({s:.2})");
+}
+
+#[test]
+fn counters_stay_consistent() {
+    let mut s = sim(&["mcf", "gzip"], RoundRobin::default());
+    for _ in 0..200 {
+        s.run_cycles(50);
+        s.assert_consistent();
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let mut s = sim(&["twolf", "gcc"], RoundRobin::default());
+        s.run_cycles(15_000);
+        let r = s.result();
+        (r.total_committed(), r.total_fetched())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn reset_stats_starts_a_fresh_measurement() {
+    let mut s = sim(&["gzip"], RoundRobin::default());
+    s.run_cycles(5_000);
+    s.reset_stats();
+    assert_eq!(s.result().total_committed(), 0);
+    s.run_cycles(5_000);
+    let r = s.result();
+    assert_eq!(r.cycles, 5_000);
+    assert!(r.total_committed() > 0);
+}
+
+#[test]
+fn memory_bound_thread_records_misses_and_mlp() {
+    let mut s = sim(&["art"], RoundRobin::default());
+    s.run_cycles(60_000);
+    let r = s.result();
+    assert!(r.threads[0].l2_misses > 50, "art should miss in L2");
+    assert!(r.threads[0].mlp() >= 1.0);
+}
+
+#[test]
+fn mispredictions_block_fetch_but_do_not_refetch() {
+    // Wrong-path instructions are not fetched (the thread stalls until
+    // the branch resolves), so mispredictions alone do not inflate the
+    // fetch count; policy flushes do (tested in smt-policies).
+    let mut s = sim(&["mcf"], RoundRobin::default());
+    s.run_cycles(30_000);
+    let r = s.result();
+    assert!(r.threads[0].mispredicts > 0);
+    assert!(r.threads[0].fetched >= r.threads[0].committed);
+}
+
+#[test]
+fn run_until_committed_stops_early() {
+    let mut s = sim(&["gzip"], RoundRobin::default());
+    s.run_until_committed(1_000, 1_000_000);
+    assert!(s.result().threads[0].committed >= 1_000);
+    assert!(s.now() < 1_000_000);
+}
+
+#[test]
+fn profiled_step_is_bit_identical_to_step() {
+    let mut plain = sim(&["mcf", "gzip"], RoundRobin::default());
+    let mut profiled = sim(&["mcf", "gzip"], RoundRobin::default());
+    let mut prof = StageProfile::default();
+    for _ in 0..20_000 {
+        plain.step();
+        profiled.step_profiled(&mut prof);
+    }
+    assert_eq!(plain.result(), profiled.result());
+    assert_eq!(prof.cycles, 20_000);
+    assert!(prof.total().as_nanos() > 0);
+    let share_sum: f64 = prof.shares().iter().map(|(_, s)| s).sum();
+    assert!((share_sum - 1.0).abs() < 1e-9, "shares sum to {share_sum}");
+}
+
+#[test]
+fn reset_reproduces_a_fresh_simulator_bit_for_bit() {
+    let digest = |s: &Simulator| {
+        let r = s.result();
+        (
+            r.cycles,
+            r.threads.clone(),
+            s.memory().cache_stats(),
+            s.predictor().stats(),
+        )
+    };
+    // Run a first (different) workload to dirty every structure, then
+    // reset onto the reference workload and compare against a fresh
+    // simulator: identical statistics, cycle for cycle.
+    let mut reused = sim(&["mcf", "art"], RoundRobin::default());
+    reused.run_cycles(20_000);
+    let profiles = [
+        spec::profile("twolf").unwrap(),
+        spec::profile("gcc").unwrap(),
+    ];
+    reused.reset(&profiles, RoundRobin::default(), 99);
+    reused.run_cycles(20_000);
+    reused.assert_consistent();
+
+    let mut fresh = Simulator::new(SimConfig::baseline(2), &profiles, RoundRobin::default(), 99);
+    fresh.run_cycles(20_000);
+    assert_eq!(digest(&reused), digest(&fresh));
+}

@@ -2,10 +2,17 @@
 
 use smt_isa::{BranchKind, DecodedInst, InstClass, RegClass};
 
-/// Sentinel for "no producer" in [`DynInst::deps`].
+/// Sentinel for "no producer" in a dependency slot.
 pub(crate) const NO_DEP: u64 = u64::MAX;
 
 /// Pipeline stage of an in-flight instruction.
+///
+/// Stored in a dedicated struct-of-arrays lane of the window ring (see
+/// [`crate::thread::ThreadState`]), not inside [`DynInst`]: the stage is
+/// the field every pipeline stage reads — the commit stage scans runs of
+/// [`Stage::Done`], issue filters on [`Stage::Dispatched`] — so keeping it
+/// in its own contiguous byte lane makes those burst scans touch one byte
+/// per instruction instead of a whole `DynInst`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Stage {
     /// Fetched into the thread's fetch queue; occupies no shared resource.
@@ -21,21 +28,40 @@ pub(crate) enum Stage {
     Done,
 }
 
+/// Resolves a decoded instruction's dependence distances to absolute
+/// producer sequence numbers ([`NO_DEP`] where a slot has no producer or
+/// the distance reaches before the stream start). The result lives in the
+/// window ring's deps lane, read at dispatch when subscribing to producers.
+pub(crate) fn resolve_deps(decoded: &DecodedInst, seq: u64) -> [u64; 2] {
+    decoded.deps().map(|d| match d {
+        Some(dist) => {
+            let dist = u64::from(dist);
+            if dist <= seq {
+                seq - dist
+            } else {
+                NO_DEP
+            }
+        }
+        None => NO_DEP,
+    })
+}
+
 /// One in-flight instruction.
 ///
-/// Deliberately compact: the window `VecDeque`s move these on every fetch,
-/// commit and squash, so the full [`DecodedInst`] is *not* embedded — only
-/// the fields the pipeline reads per stage. The decoded record itself stays
-/// in the thread's replay buffer (which outlives every in-flight
-/// instruction by construction: the buffer retires at commit, and squashed
-/// instructions are younger than the commit point), where squash
-/// notifications and re-fetches look it up.
+/// Deliberately compact (48 bytes, so three fit in two cache lines): the
+/// window ring holds these, so the full [`DecodedInst`] is *not* embedded —
+/// only the fields the pipeline reads per stage, and of those, the hottest
+/// (`stage`, `deps`) live in separate struct-of-arrays lanes of the ring
+/// instead. The per-thread sequence number is not stored either — it *is*
+/// the ring key — and the five status booleans share one flags byte. The
+/// decoded record itself stays in the thread's replay buffer (which
+/// outlives every in-flight instruction by construction: the buffer
+/// retires at commit, and squashed instructions are younger than the
+/// commit point), where squash notifications and re-fetches look it up.
 #[derive(Debug, Clone)]
 pub(crate) struct DynInst {
-    /// Per-thread dynamic sequence number.
-    pub seq: u64,
     /// Globally unique incarnation id: a squashed-and-refetched instruction
-    /// reuses its `seq` but gets a fresh `uid`, so stale timing events can
+    /// reuses its seq but gets a fresh `uid`, so stale timing events can
     /// be recognised and dropped.
     pub uid: u64,
     /// Program counter.
@@ -46,9 +72,6 @@ pub(crate) struct DynInst {
     pub dispatch_eligible_at: u64,
     /// Cycle the instruction was dispatched (age for issue arbitration).
     pub dispatched_at: u64,
-    /// Absolute producer sequence numbers within the same thread
-    /// ([`NO_DEP`] = no producer in that slot).
-    pub deps: [u64; 2],
     /// Head of this instruction's consumer wait-list (index into the
     /// thread's waiter pool, [`crate::thread::NO_WAITER`] when empty).
     /// Completion walks the list and wakes the registered consumers.
@@ -57,101 +80,120 @@ pub(crate) struct DynInst {
     pub class: InstClass,
     /// Register class written, if any.
     pub dest: Option<RegClass>,
-    pub stage: Stage,
     /// Wakeup scoreboard: number of source operands still outstanding.
     /// Counted at dispatch; decremented by producers as they complete.
     /// Valid only while `Dispatched` — the instruction joins its queue's
     /// ready list the moment this reaches zero.
     pub pending_ops: u8,
-    /// Fetch-time branch misprediction (squash when the branch resolves).
-    pub mispredicted: bool,
-    /// The load missed the L1 data cache.
-    pub l1_miss: bool,
-    /// The load missed the L2.
-    pub l2_miss: bool,
-    /// The L2 miss has been detected (one L2 latency after issue) and is
-    /// counted in the thread's pending-L2 counter.
-    pub l2_detected: bool,
-    /// The instruction is a call or return (squashing one clears the RAS).
-    pub pushes_ras: bool,
+    /// Status flags, see the `FLAG_*` constants.
+    flags: u8,
 }
+
+/// Fetch-time branch misprediction (squash when the branch resolves).
+const FLAG_MISPREDICTED: u8 = 1 << 0;
+/// The load missed the L1 data cache.
+const FLAG_L1_MISS: u8 = 1 << 1;
+/// The load missed the L2.
+const FLAG_L2_MISS: u8 = 1 << 2;
+/// The L2 miss has been detected (one L2 latency after issue) and is
+/// counted in the thread's pending-L2 counter.
+const FLAG_L2_DETECTED: u8 = 1 << 3;
+/// The instruction is a call or return (squashing one clears the RAS).
+const FLAG_PUSHES_RAS: u8 = 1 << 4;
 
 impl DynInst {
     /// An inert filler for unoccupied ring slots — never observable: every
     /// ring lookup is bounds-guarded by the live `[base, tip)` range.
     pub fn placeholder() -> Self {
         DynInst {
-            seq: u64::MAX,
             uid: 0,
             pc: 0,
             mem_addr: 0,
             dispatch_eligible_at: 0,
             dispatched_at: 0,
-            deps: [NO_DEP; 2],
             waiters_head: crate::thread::NO_WAITER,
             class: InstClass::IntAlu,
             dest: None,
-            stage: Stage::Done,
             pending_ops: 0,
-            mispredicted: false,
-            l1_miss: false,
-            l2_miss: false,
-            l2_detected: false,
-            pushes_ras: false,
+            flags: 0,
         }
     }
 
-    /// Creates a freshly fetched instruction from its decoded record.
+    /// Creates a freshly fetched instruction from its decoded record. The
+    /// caller stores the companion lane values ([`resolve_deps`],
+    /// [`Stage::Fetched`]) alongside.
     ///
     /// # Panics
     ///
     /// Panics if a load or store arrives without a memory access.
-    pub fn fetched(
-        seq: u64,
-        uid: u64,
-        decoded: &DecodedInst,
-        now: u64,
-        frontend_delay: u32,
-    ) -> Self {
-        let deps = decoded.deps().map(|d| match d {
-            Some(dist) => {
-                let dist = u64::from(dist);
-                if dist <= seq {
-                    seq - dist
-                } else {
-                    NO_DEP
-                }
-            }
-            None => NO_DEP,
-        });
+    pub fn fetched(uid: u64, decoded: &DecodedInst, now: u64, frontend_delay: u32) -> Self {
         let mem_addr = match decoded.class {
             InstClass::Load | InstClass::Store => {
                 decoded.mem.expect("load/store without address").addr
             }
             _ => 0,
         };
+        let pushes_ras = matches!(
+            decoded.branch.map(|b| b.kind),
+            Some(BranchKind::Call) | Some(BranchKind::Return)
+        );
         DynInst {
-            seq,
             uid,
             pc: decoded.pc,
             mem_addr,
             dispatch_eligible_at: now + u64::from(frontend_delay),
             dispatched_at: 0,
-            deps,
             waiters_head: crate::thread::NO_WAITER,
             class: decoded.class,
             dest: decoded.dest,
-            stage: Stage::Fetched,
             pending_ops: 0,
-            mispredicted: false,
-            l1_miss: false,
-            l2_miss: false,
-            l2_detected: false,
-            pushes_ras: matches!(
-                decoded.branch.map(|b| b.kind),
-                Some(BranchKind::Call) | Some(BranchKind::Return)
-            ),
+            flags: if pushes_ras { FLAG_PUSHES_RAS } else { 0 },
         }
+    }
+
+    #[inline]
+    pub fn mispredicted(&self) -> bool {
+        self.flags & FLAG_MISPREDICTED != 0
+    }
+
+    #[inline]
+    pub fn set_mispredicted(&mut self) {
+        self.flags |= FLAG_MISPREDICTED;
+    }
+
+    #[inline]
+    pub fn l1_miss(&self) -> bool {
+        self.flags & FLAG_L1_MISS != 0
+    }
+
+    #[inline]
+    pub fn set_l1_miss(&mut self) {
+        self.flags |= FLAG_L1_MISS;
+    }
+
+    #[inline]
+    pub fn l2_miss(&self) -> bool {
+        self.flags & FLAG_L2_MISS != 0
+    }
+
+    #[inline]
+    pub fn set_l2_miss(&mut self) {
+        self.flags |= FLAG_L2_MISS;
+    }
+
+    #[inline]
+    pub fn l2_detected(&self) -> bool {
+        self.flags & FLAG_L2_DETECTED != 0
+    }
+
+    #[inline]
+    pub fn set_l2_detected(&mut self) {
+        self.flags |= FLAG_L2_DETECTED;
+    }
+
+    #[inline]
+    pub fn pushes_ras(&self) -> bool {
+        self.flags & FLAG_PUSHES_RAS != 0
     }
 }
 
@@ -166,17 +208,30 @@ mod tests {
             .dep(3)
             .dep(10)
             .build();
-        let i = DynInst::fetched(20, 1, &d, 5, 4);
-        assert_eq!(i.deps, [17, 10]);
+        assert_eq!(resolve_deps(&d, 20), [17, 10]);
+        let i = DynInst::fetched(1, &d, 5, 4);
         assert_eq!(i.dispatch_eligible_at, 9);
+    }
+
+    #[test]
+    fn flags_pack_independently() {
+        let d = DecodedInst::builder(InstClass::Load, 0)
+            .dest(RegClass::Int)
+            .mem(0x40, 8)
+            .build();
+        let mut i = DynInst::fetched(1, &d, 0, 0);
+        assert!(!i.l1_miss() && !i.l2_miss() && !i.mispredicted());
+        i.set_l1_miss();
+        i.set_l2_detected();
+        assert!(i.l1_miss() && i.l2_detected());
+        assert!(!i.l2_miss() && !i.mispredicted() && !i.pushes_ras());
     }
 
     #[test]
     fn deps_before_stream_start_are_dropped() {
         let d = DecodedInst::builder(InstClass::IntAlu, 0).dep(5).build();
-        let i = DynInst::fetched(3, 1, &d, 0, 0);
         assert_eq!(
-            i.deps,
+            resolve_deps(&d, 3),
             [NO_DEP, NO_DEP],
             "distance beyond seq 0 has no producer"
         );
@@ -184,10 +239,11 @@ mod tests {
 
     #[test]
     fn stays_compact() {
-        // The whole point of not embedding DecodedInst: window moves are
-        // the simulator's dominant memory traffic.
+        // The whole point of not embedding DecodedInst (and of keeping the
+        // stage/deps lanes outside): window slots are the simulator's
+        // dominant memory traffic.
         assert!(
-            std::mem::size_of::<DynInst>() <= 88,
+            std::mem::size_of::<DynInst>() <= 48,
             "DynInst grew to {} bytes",
             std::mem::size_of::<DynInst>()
         );

@@ -11,12 +11,16 @@
 //! # Architecture
 //!
 //! * [`SimConfig`] — machine description (Table 2 defaults).
-//! * [`Simulator`] — the cycle loop: fetch → decode/rename → issue →
-//!   execute → commit, with squash/replay on branch mispredictions and
-//!   policy-initiated flushes.
+//! * [`Simulator`] — the staged cycle loop: fetch → decode/rename → issue
+//!   → execute → commit, with squash/replay on branch mispredictions and
+//!   policy-initiated flushes. Each stage lives in its own module of the
+//!   `core/` tree and processes per-thread bursts (see `ARCHITECTURE.md`
+//!   at the repository root for the module map and batching invariants).
 //! * [`policy`] — the policy interface and per-cycle machine view.
 //! * [`SimResult`]/[`ThreadStats`] — per-run statistics (IPC, front-end
 //!   activity, memory-level parallelism, ...).
+//! * [`StageProfile`] — per-stage wall-clock attribution for perf
+//!   tracking.
 //!
 //! # Examples
 //!
@@ -48,5 +52,5 @@ mod thread;
 pub mod watch;
 
 pub use config::SimConfig;
-pub use core::Simulator;
+pub use core::{Simulator, StageProfile};
 pub use stats::{SimResult, ThreadStats};

@@ -163,6 +163,26 @@ impl Policy for AnyPolicy {
             _ => fan_out!(self, p => p.wants_dispatch_view()),
         }
     }
+
+    #[inline]
+    fn wants_dispatch_gate(&self) -> bool {
+        match self {
+            // External policies may gate dispatch without having
+            // overridden the hint; always consult them.
+            AnyPolicy::Boxed(_) => true,
+            _ => fan_out!(self, p => p.wants_dispatch_gate()),
+        }
+    }
+
+    #[inline]
+    fn wants_progress_counters(&self) -> bool {
+        match self {
+            // External policies may read the progress lanes without having
+            // overridden the hint; always refresh for them.
+            AnyPolicy::Boxed(_) => true,
+            _ => fan_out!(self, p => p.wants_progress_counters()),
+        }
+    }
 }
 
 impl std::fmt::Debug for AnyPolicy {
@@ -237,11 +257,7 @@ mod tests {
     use smt_isa::PerResource;
 
     fn view(n: usize) -> CycleView {
-        CycleView {
-            now: 0,
-            threads: vec![ThreadView::default(); n],
-            totals: PerResource::filled(80),
-        }
+        CycleView::new(0, PerResource::filled(80), &vec![ThreadView::default(); n])
     }
 
     #[test]

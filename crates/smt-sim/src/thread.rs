@@ -1,6 +1,7 @@
 //! Per-hardware-thread simulator state.
 
-use crate::inst::DynInst;
+use crate::core::rings::SeqRing;
+use crate::inst::{DynInst, Stage};
 use smt_isa::DecodedInst;
 use smt_workloads::TraceGenerator;
 
@@ -21,20 +22,26 @@ pub(crate) struct Waiter {
 /// (squashed instructions are re-fetched, and must decode identically), the
 /// in-flight instruction window and the thread's blocking conditions.
 ///
-/// Both the instruction window and the replay buffer are power-of-two
-/// *sequence-indexed rings*: element `seq` lives at slot `seq & mask`,
-/// so every hot-path lookup is one mask and one indexed load — no
-/// front-pointer chasing, no base subtraction, no `VecDeque` two-slice
-/// arithmetic. Capacities are fixed at construction from the machine's
-/// ROB and fetch-queue bounds (the window can never hold more than
-/// `rob_entries + fetch_queue` instructions, and the replay buffer never
-/// retains more than the window span), so the rings never grow.
+/// The instruction window, its struct-of-arrays stage/deps lanes and the
+/// replay buffer are all power-of-two *sequence-indexed rings*
+/// ([`SeqRing`]): element `seq` lives at slot `seq & mask`, so every hot
+/// lookup is one mask and one indexed load. Capacities are fixed at
+/// construction from the machine's ROB and fetch-queue bounds (the window
+/// can never hold more than `rob_entries + fetch_queue` instructions, and
+/// the replay buffer never retains more than the window span), so the
+/// rings never grow.
+///
+/// The hottest per-instruction fields live in lanes beside the window
+/// instead of inside [`DynInst`]: `stages` (read by every pipeline stage;
+/// the commit stage scans contiguous `Done` runs over it) and `deps` (read
+/// once per instruction at dispatch). Every lane access is bounds-guarded
+/// by the live `[win_base, next_fetch)` range exactly like the window
+/// itself.
 #[derive(Debug)]
 pub(crate) struct ThreadState {
     gen: TraceGenerator,
     /// Ring of decoded records for seqs `[buffer_base, buffer_tip)`.
-    buffer: Vec<DecodedInst>,
-    buf_mask: u64,
+    buffer: SeqRing<DecodedInst>,
     /// Oldest retained decoded seq.
     buffer_base: u64,
     /// One past the newest generated seq.
@@ -45,8 +52,12 @@ pub(crate) struct ThreadState {
     /// Next sequence number to dispatch, always ≥ the window base.
     pub next_dispatch: u64,
     /// Ring of in-flight instructions for seqs `[win_base, next_fetch)`.
-    window: Vec<DynInst>,
-    win_mask: u64,
+    window: SeqRing<DynInst>,
+    /// Stage lane of the window (struct-of-arrays: one byte-sized entry
+    /// per in-flight instruction, scanned in bursts by commit).
+    stages: SeqRing<Stage>,
+    /// Producer-dependency lane of the window.
+    deps: SeqRing<[u64; 2]>,
     /// Oldest in-flight seq (the commit point).
     win_base: u64,
     /// I-cache miss or fetch-redirect bubble: no fetch until this cycle.
@@ -73,17 +84,17 @@ impl ThreadState {
     /// Builds a thread whose window can hold `window_span` in-flight
     /// instructions (`rob_entries + fetch_queue` for the machine at hand).
     pub fn new(gen: TraceGenerator, window_span: usize) -> Self {
-        let cap = (window_span + 1).next_power_of_two();
+        let cap = window_span + 1;
         ThreadState {
             gen,
-            buffer: vec![DecodedInst::placeholder(); cap],
-            buf_mask: cap as u64 - 1,
+            buffer: SeqRing::new(cap, DecodedInst::placeholder()),
             buffer_base: 0,
             buffer_tip: 0,
             next_fetch: 0,
             next_dispatch: 0,
-            window: vec![DynInst::placeholder(); cap],
-            win_mask: cap as u64 - 1,
+            window: SeqRing::new(cap, DynInst::placeholder()),
+            stages: SeqRing::new(cap, Stage::Done),
+            deps: SeqRing::new(cap, [crate::inst::NO_DEP; 2]),
             win_base: 0,
             icache_stall_until: 0,
             pending_inst_fill: None,
@@ -139,66 +150,112 @@ impl ThreadState {
         (self.next_fetch - self.win_base) as usize
     }
 
+    /// `true` while `seq` is in the live window range.
+    #[inline]
+    fn in_window(&self, seq: u64) -> bool {
+        self.win_base <= seq && seq < self.next_fetch
+    }
+
     /// Direct slot access for a seq known to be in flight.
     #[inline]
     pub fn at(&self, seq: u64) -> &DynInst {
-        debug_assert!(self.win_base <= seq && seq < self.next_fetch);
-        &self.window[(seq & self.win_mask) as usize]
+        debug_assert!(self.in_window(seq));
+        self.window.at(seq)
     }
 
     /// Mutable direct slot access for a seq known to be in flight.
     #[inline]
     pub fn at_mut(&mut self, seq: u64) -> &mut DynInst {
-        debug_assert!(self.win_base <= seq && seq < self.next_fetch);
-        &mut self.window[(seq & self.win_mask) as usize]
+        debug_assert!(self.in_window(seq));
+        self.window.at_mut(seq)
     }
 
     /// Looks up an in-flight instruction by sequence number.
     #[inline]
     pub fn get(&self, seq: u64) -> Option<&DynInst> {
-        (self.win_base <= seq && seq < self.next_fetch)
-            .then(|| &self.window[(seq & self.win_mask) as usize])
+        self.in_window(seq).then(|| self.window.at(seq))
     }
 
-    /// Mutable lookup by sequence number.
-    #[inline]
+    /// Mutable lookup by sequence number (test-only; the pipeline mutates
+    /// through [`Self::at_mut`] after validating liveness).
+    #[cfg(test)]
     pub fn get_mut(&mut self, seq: u64) -> Option<&mut DynInst> {
-        (self.win_base <= seq && seq < self.next_fetch)
-            .then(|| &mut self.window[(seq & self.win_mask) as usize])
+        self.in_window(seq).then(|| self.window.at_mut(seq))
     }
 
-    /// Appends a freshly fetched instruction (its `seq` must be
-    /// `next_fetch`) and advances the fetch tip.
+    /// Pipeline stage of an in-flight instruction (stage lane).
     #[inline]
-    pub fn push_fetched(&mut self, inst: DynInst) {
-        debug_assert_eq!(inst.seq, self.next_fetch);
-        debug_assert!(self.window_len() < self.window.len(), "window ring full");
-        let slot = (inst.seq & self.win_mask) as usize;
-        self.window[slot] = inst;
+    pub fn stage_of(&self, seq: u64) -> Stage {
+        debug_assert!(self.in_window(seq));
+        *self.stages.at(seq)
+    }
+
+    /// Updates the stage lane for an in-flight instruction.
+    #[inline]
+    pub fn set_stage(&mut self, seq: u64, stage: Stage) {
+        debug_assert!(self.in_window(seq));
+        self.stages.set(seq, stage);
+    }
+
+    /// Producer seqs of an in-flight instruction (deps lane).
+    #[inline]
+    pub fn deps_of(&self, seq: u64) -> [u64; 2] {
+        debug_assert!(self.in_window(seq));
+        *self.deps.at(seq)
+    }
+
+    /// Length of the contiguous run of `Done` instructions at the window
+    /// base, capped at `max` — the thread's committable burst this cycle.
+    /// Scans the byte-sized stage lane only.
+    #[inline]
+    pub fn done_run_len(&self, max: u32) -> u32 {
+        let end = self.next_fetch.min(self.win_base + u64::from(max));
+        let mut seq = self.win_base;
+        while seq < end && *self.stages.at(seq) == Stage::Done {
+            seq += 1;
+        }
+        (seq - self.win_base) as u32
+    }
+
+    /// Appends a freshly fetched instruction at the fetch tip with its
+    /// resolved dependency lane entry, and advances the tip. The stage
+    /// lane starts at [`Stage::Fetched`].
+    #[inline]
+    pub fn push_fetched(&mut self, inst: DynInst, deps: [u64; 2]) {
+        debug_assert!(
+            self.window_len() < self.window.capacity(),
+            "window ring full"
+        );
+        let seq = self.next_fetch;
+        self.window.set(seq, inst);
+        self.stages.set(seq, Stage::Fetched);
+        self.deps.set(seq, deps);
         self.next_fetch += 1;
     }
 
-    /// Advances the commit point past the oldest in-flight instruction
-    /// (which the caller has just retired).
+    /// Advances the commit point past the oldest `n` in-flight
+    /// instructions (which the caller has just retired as a burst).
     #[inline]
-    pub fn advance_base(&mut self) {
-        debug_assert!(!self.window_is_empty());
-        self.win_base += 1;
+    pub fn advance_base_by(&mut self, n: u64) {
+        debug_assert!(u64::from(self.window_len() as u32) >= n);
+        self.win_base += n;
     }
 
-    /// Iterates the in-flight instructions oldest-first (diagnostics).
-    pub fn window_iter(&self) -> impl Iterator<Item = &DynInst> {
-        (self.win_base..self.next_fetch).map(|s| &self.window[(s & self.win_mask) as usize])
+    /// Iterates the live window's sequence numbers oldest-first
+    /// (diagnostics).
+    pub fn window_seqs(&self) -> std::ops::Range<u64> {
+        self.win_base..self.next_fetch
     }
 
     /// Drops the youngest in-flight instruction (squash path) and returns
-    /// a copy of it. The fetch tip moves down; the caller rewinds
-    /// `next_fetch`/`next_dispatch` bookkeeping itself.
+    /// `(its seq, a copy of it, its stage)`. The fetch tip moves down; the
+    /// caller rewinds `next_dispatch` bookkeeping itself.
     #[inline]
-    pub fn pop_youngest(&mut self) -> DynInst {
+    pub fn pop_youngest(&mut self) -> (u64, DynInst, Stage) {
         debug_assert!(!self.window_is_empty());
         self.next_fetch -= 1;
-        self.window[(self.next_fetch & self.win_mask) as usize].clone()
+        let seq = self.next_fetch;
+        (seq, self.window.at(seq).clone(), *self.stages.at(seq))
     }
 
     // ------------------------------------------------------- wakeup waiters
@@ -253,21 +310,29 @@ impl ThreadState {
 
     // -------------------------------------------------------- replay buffer
 
-    /// The decoded instruction at `seq`, generating forward as needed.
+    /// The decoded instruction at `seq`, generating forward as needed
+    /// (test-only convenience; the pipeline uses [`Self::inst_at_ref`]).
     /// Re-fetching a squashed sequence number returns the identical record.
-    #[inline]
+    #[cfg(test)]
     pub fn inst_at(&mut self, seq: u64) -> DecodedInst {
+        *self.inst_at_ref(seq)
+    }
+
+    /// Borrowed variant of [`Self::inst_at`] — the fetch stage reads the
+    /// record in place instead of copying it out of the replay ring.
+    #[inline]
+    pub fn inst_at_ref(&mut self, seq: u64) -> &DecodedInst {
         debug_assert!(seq >= self.buffer_base, "instruction already retired");
         while self.buffer_tip <= seq {
             debug_assert!(
-                self.buffer_tip - self.buffer_base <= self.buf_mask,
+                (self.buffer_tip - self.buffer_base) as usize <= self.buffer.capacity(),
                 "replay ring full"
             );
             let inst = self.gen.next_inst();
-            self.buffer[(self.buffer_tip & self.buf_mask) as usize] = inst;
+            self.buffer.set(self.buffer_tip, inst);
             self.buffer_tip += 1;
         }
-        self.buffer[(seq & self.buf_mask) as usize]
+        self.buffer.at(seq)
     }
 
     /// The decoded record of an instruction still in the replay buffer
@@ -281,7 +346,7 @@ impl ThreadState {
             self.buffer_base,
             self.buffer_tip
         );
-        self.buffer[(seq & self.buf_mask) as usize]
+        *self.buffer.at(seq)
     }
 
     /// Drops replay entries up to and including `seq` (called at commit).
@@ -323,10 +388,18 @@ impl ThreadState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::inst::resolve_deps;
 
     fn thread() -> ThreadState {
         let p = smt_workloads::spec::profile("gzip").unwrap();
         ThreadState::new(TraceGenerator::new(p, 1, 0), 512 + 16)
+    }
+
+    /// Fetches seq `s` into the window with uid `uid`.
+    fn push(t: &mut ThreadState, s: u64, uid: u64) {
+        let d = t.inst_at(s);
+        let deps = resolve_deps(&d, s);
+        t.push_fetched(crate::inst::DynInst::fetched(uid, &d, 0, 0), deps);
     }
 
     #[test]
@@ -373,8 +446,7 @@ mod tests {
     fn waiter_pool_recycles_nodes() {
         let mut t = thread();
         for s in 0..3u64 {
-            let d = t.inst_at(s);
-            t.push_fetched(crate::inst::DynInst::fetched(s, s + 1, &d, 0, 0));
+            push(&mut t, s, s + 1);
         }
         // Two consumers wait on producer 0, one on producer 1.
         t.register_waiter(0, 1, 2);
@@ -407,18 +479,36 @@ mod tests {
         let mut t = thread();
         // Advance the window base to 10 by fetching and retiring 10 insts.
         for s in 0..15u64 {
-            let d = t.inst_at(s);
-            t.push_fetched(crate::inst::DynInst::fetched(s, s, &d, 0, 0));
+            push(&mut t, s, s);
         }
-        for _ in 0..10 {
-            t.advance_base();
-        }
+        t.advance_base_by(10);
         assert_eq!(t.window_base(), Some(10));
-        assert_eq!(t.get(12).unwrap().seq, 12);
+        assert_eq!(t.get(12).unwrap().uid, 12, "uids track the pushed seqs");
         assert!(t.get(9).is_none());
         assert!(t.get(15).is_none());
-        t.get_mut(14).unwrap().mispredicted = true;
-        assert!(t.get(14).unwrap().mispredicted);
+        t.get_mut(14).unwrap().set_mispredicted();
+        assert!(t.get(14).unwrap().mispredicted());
+    }
+
+    #[test]
+    fn stage_and_deps_lanes_track_the_window() {
+        let mut t = thread();
+        for s in 0..4u64 {
+            push(&mut t, s, s + 1);
+        }
+        assert_eq!(t.stage_of(2), Stage::Fetched);
+        t.set_stage(2, Stage::Dispatched);
+        assert_eq!(t.stage_of(2), Stage::Dispatched);
+        assert_eq!(t.stage_of(3), Stage::Fetched, "other lanes untouched");
+        // The deps lane holds what resolve_deps computed at push time.
+        let d = t.inst_at(2);
+        assert_eq!(t.deps_of(2), resolve_deps(&d, 2));
+        // A committable run requires Done stages from the base.
+        assert_eq!(t.done_run_len(8), 0);
+        t.set_stage(0, Stage::Done);
+        t.set_stage(1, Stage::Done);
+        assert_eq!(t.done_run_len(8), 2);
+        assert_eq!(t.done_run_len(1), 1, "run is capped at the budget");
     }
 
     #[test]
@@ -427,16 +517,14 @@ mod tests {
         // Push and retire far past the ring capacity; lookups must always
         // resolve to the live incarnation.
         for s in 0..5_000u64 {
-            let d = t.inst_at(s);
-            t.push_fetched(crate::inst::DynInst::fetched(s, s + 7, &d, 0, 0));
+            push(&mut t, s, s + 7);
             if s >= 100 {
                 t.retire_buffer(s - 100);
-                t.advance_base();
+                t.advance_base_by(1);
             }
         }
         assert_eq!(t.window_len(), 100);
         assert_eq!(t.window_base(), Some(4900));
-        assert_eq!(t.at(4950).seq, 4950);
         assert_eq!(t.at(4950).uid, 4957);
         assert!(t.get(4899).is_none(), "retired seq must be out of range");
     }

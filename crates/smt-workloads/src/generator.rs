@@ -4,6 +4,7 @@ use crate::profile::BenchmarkProfile;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use smt_isa::{BranchKind, DecodedInst, InstClass, RegClass};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Execution phase of the generated program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,8 +66,44 @@ pub struct TraceGenerator {
     /// every instruction (`ln` twice per sample was a measurable share of
     /// generation time). `NaN` when `dep_mean <= 1`.
     dep_ln_one_minus_p: f64,
+    /// Descending geometric thresholds `exp(k · ln(1-p))` for
+    /// `k = 1..=DEP_CLAMP`, shared across generators with the same
+    /// `dep_mean` — the table behind the `ln`-free dependence-distance
+    /// fast path (see [`TraceGenerator::dep_distance`]).
+    dep_table: Arc<Vec<f64>>,
     /// Cumulative mix thresholds for sampling instruction classes.
     mix_cdf: [(f64, InstClass); 8],
+}
+
+/// Upper clamp of sampled dependence distances (instructions).
+const DEP_CLAMP: u64 = 512;
+
+/// The per-`dep_mean` threshold table for the dependence-distance sampler,
+/// built once per distinct mean and shared (generators are rebuilt for
+/// every sweep run; rebuilding 512 `exp` calls each time would eat the
+/// session-reuse savings). Keyed by the bit pattern of `ln(1 - 1/mean)`;
+/// a non-finite key (mean ≤ 1) yields an empty table, which is never
+/// consulted because the sampler short-circuits first.
+fn dep_threshold_table(ln_one_minus_p: f64) -> Arc<Vec<f64>> {
+    type TableCache = Mutex<Vec<(u64, Arc<Vec<f64>>)>>;
+    static CACHE: OnceLock<TableCache> = OnceLock::new();
+    let key = ln_one_minus_p.to_bits();
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("dep-table cache poisoned");
+    if let Some((_, table)) = cache.iter().find(|(k, _)| *k == key) {
+        return Arc::clone(table);
+    }
+    let table: Arc<Vec<f64>> = Arc::new(if ln_one_minus_p.is_finite() {
+        (1..=DEP_CLAMP)
+            .map(|k| (ln_one_minus_p * k as f64).exp())
+            .collect()
+    } else {
+        Vec::new()
+    });
+    cache.push((key, Arc::clone(&table)));
+    table
 }
 
 impl TraceGenerator {
@@ -181,6 +218,7 @@ impl TraceGenerator {
             sites,
             biased_count: biased_sites.min(n_sites),
             dep_ln_one_minus_p: ln_one_minus_inv(profile.dep_mean),
+            dep_table: dep_threshold_table(ln_one_minus_inv(profile.dep_mean)),
             mix_cdf,
         };
         this.advance_phase();
@@ -228,21 +266,73 @@ impl TraceGenerator {
 
     fn sample_class(&mut self) -> InstClass {
         let u: f64 = self.rng.gen();
-        for (threshold, class) in self.mix_cdf {
-            if u <= threshold {
-                return class;
-            }
+        // Branchless equivalent of "first entry with `u <= threshold`":
+        // the index is the number of thresholds strictly below `u`. Eight
+        // predicate sums vectorise; the early-exit scan it replaces was a
+        // data-dependent branch per instruction.
+        let idx = self
+            .mix_cdf
+            .iter()
+            .map(|&(threshold, _)| usize::from(threshold < u))
+            .sum::<usize>();
+        match self.mix_cdf.get(idx) {
+            Some(&(_, class)) => class,
+            None => InstClass::IntAlu,
         }
-        InstClass::IntAlu
     }
 
+    /// Samples a dependence distance: the clamped geometric draw
+    /// `ceil(ln(u) / ln(1-p)).clamp(1, 512)`, computed through the
+    /// precomputed threshold table instead of a per-sample `ln`.
+    ///
+    /// Bit-identical to the direct expression: the distance is `k` exactly
+    /// when `u` falls in `[exp(k·L), exp((k-1)·L))`, so a binary search
+    /// over the `exp(k·L)` table reproduces the `ln`-based result — except
+    /// possibly within a few ULPs of a threshold, where the two float
+    /// computations could round apart. A relative guard band of `1e-9`
+    /// around each interior threshold (four orders of magnitude wider than
+    /// the actual error bound of either expression, and crossed by ~1e-6
+    /// of draws) falls back to the original expression, which settles
+    /// those draws by definition. The clamp collapses the `k = 512/513`
+    /// boundary, so the table's tail needs no guard.
     fn dep_distance(&mut self) -> u32 {
-        sample_geometric_with(
-            &mut self.rng,
-            self.profile.dep_mean,
-            self.dep_ln_one_minus_p,
-        )
-        .clamp(1, 512) as u32
+        if self.profile.dep_mean <= 1.0 {
+            return 1;
+        }
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let table = &self.dep_table[..];
+        // Thresholds are descending; count how many exceed `u`. The draw
+        // is geometric, so almost every sample lands in the first few
+        // thresholds: count those with a branchless (vectorisable) sweep
+        // and only fall back to binary search for the rare deep tail —
+        // a data-dependent binary search over 512 entries costs ~9 branch
+        // mispredictions, which is as slow as the `ln` it replaces.
+        const SWEEP: usize = 16;
+        let head = table[..SWEEP.min(table.len())]
+            .iter()
+            .map(|&t| usize::from(t > u))
+            .sum::<usize>();
+        let above = if head < SWEEP.min(table.len()) {
+            head
+        } else {
+            SWEEP + table[SWEEP..].partition_point(|&t| t > u)
+        };
+        if above >= table.len() {
+            return DEP_CLAMP as u32; // k > DEP_CLAMP, clamped
+        }
+        let k = above + 1; // smallest k with u >= exp(k·L)
+        let lower = table[k - 1];
+        let near_lower = u - lower < lower * 1e-9;
+        let near_upper = k >= 2 && {
+            let upper = table[k - 2];
+            upper - u < upper * 1e-9
+        };
+        if near_lower || near_upper {
+            // Guard band: defer to the exact expression (same `u`).
+            let exact = (u.ln() / self.dep_ln_one_minus_p).ceil().max(1.0) as u64;
+            return exact.clamp(1, DEP_CLAMP) as u32;
+        }
+        k as u32
     }
 
     /// Samples a data address from the nested-working-set model. Returns
@@ -472,6 +562,25 @@ mod tests {
         let mut b = TraceGenerator::new(p, 123, 1);
         for _ in 0..5_000 {
             assert_eq!(a.next_inst(), b.next_inst());
+        }
+    }
+
+    /// The table-driven dependence-distance fast path must agree with the
+    /// direct `ceil(ln(u)/ln(1-p))` expression draw for draw — the rng
+    /// stream and the sampled values are both pinned.
+    #[test]
+    fn table_sampler_matches_ln_expression() {
+        for bench in ["gcc", "mcf", "art", "gzip", "swim"] {
+            let p = spec::profile(bench).unwrap();
+            let mut g = TraceGenerator::new(p, 123, 0);
+            let mut reference_rng = g.rng.clone();
+            let l = g.dep_ln_one_minus_p;
+            for i in 0..200_000 {
+                let expect =
+                    sample_geometric_with(&mut reference_rng, p.dep_mean, l).clamp(1, 512) as u32;
+                let got = g.dep_distance();
+                assert_eq!(got, expect, "{bench}: draw {i} diverged");
+            }
         }
     }
 
