@@ -88,6 +88,67 @@ impl ActivityTracker {
         flipped
     }
 
+    /// Number of [`ActivityTracker::tick`] calls that can elapse before
+    /// any thread's active flag flips (the tick on which some positive FP
+    /// counter reaches zero), or `None` when every FP counter is already
+    /// zero — without an allocation no flip can ever happen.
+    ///
+    /// Used by the fast-forward path: `tick_many(k)` with
+    /// `k < ticks_until_flip()` is guaranteed flip-free, so the active
+    /// sets (and every decision derived from them) stay frozen across the
+    /// replayed cycles.
+    pub fn ticks_until_flip(&self) -> Option<u32> {
+        self.counters
+            .iter()
+            .flat_map(|c| {
+                ResourceKind::ALL
+                    .iter()
+                    .filter(|k| k.is_fp())
+                    .map(|&k| c[k])
+            })
+            .filter(|&v| v > 0)
+            .min()
+    }
+
+    /// Advances `n` cycles at once: decrements every FP-resource counter
+    /// by `n` (saturating). Returns `true` if any active flag flipped —
+    /// equivalent to OR-ing the results of `n` consecutive
+    /// [`ActivityTracker::tick`] calls.
+    pub fn tick_many(&mut self, n: u64) -> bool {
+        let step = u32::try_from(n).unwrap_or(u32::MAX);
+        let mut flipped = false;
+        for c in &mut self.counters {
+            for kind in ResourceKind::ALL {
+                if kind.is_fp() {
+                    if c[kind] > 0 && c[kind] <= step {
+                        flipped = true;
+                    }
+                    c[kind] = c[kind].saturating_sub(step);
+                }
+            }
+        }
+        flipped
+    }
+
+    /// Fast-forward replay: applies up to `n` idle cycles' worth of decay
+    /// and returns how many were applied — capped one tick *before* the
+    /// next activity flip, so the active sets (and every decision derived
+    /// from them) are provably unchanged across the replayed span. The
+    /// flip cycle itself must be stepped normally (`tick` inside
+    /// `begin_cycle`), where the policy recomputes its sharing model.
+    /// Shared by both DCRA variants' `Policy::on_idle_cycles`.
+    pub fn idle_replay(&mut self, n: u64) -> u64 {
+        let k = match self.ticks_until_flip() {
+            Some(m) => n.min(u64::from(m) - 1),
+            None => n, // all counters at rest: decay is a no-op
+        };
+        if k > 0 {
+            let flipped = self.tick_many(k);
+            debug_assert!(!flipped, "idle replay must stop before a flip");
+        }
+        k
+    }
+
     /// Resets the counter of `kind` for thread `t` (the thread allocated an
     /// entry this cycle). Returns `true` if the thread's active flag for
     /// `kind` flipped from inactive to active.
@@ -143,6 +204,47 @@ mod tests {
         assert!(!a.is_active(t1, ResourceKind::FpQueue));
         // FP regs decay independently of the FP queue.
         assert!(!a.is_active(t0, ResourceKind::FpRegs));
+    }
+
+    #[test]
+    fn tick_many_matches_repeated_ticks() {
+        let t0 = ThreadId::new(0);
+        for n in [0u64, 1, 2, 3, 5, 100] {
+            let mut a = ActivityTracker::new(2, 4);
+            let mut b = ActivityTracker::new(2, 4);
+            a.on_alloc(t0, ResourceKind::FpQueue);
+            b.on_alloc(t0, ResourceKind::FpQueue);
+            let mut flipped_stepped = false;
+            for _ in 0..n {
+                flipped_stepped |= a.tick();
+            }
+            let flipped_batched = b.tick_many(n);
+            assert_eq!(flipped_stepped, flipped_batched, "flip signal at n={n}");
+            for tid in 0..2 {
+                for kind in ResourceKind::ALL {
+                    assert_eq!(
+                        a.is_active(ThreadId::new(tid), kind),
+                        b.is_active(ThreadId::new(tid), kind),
+                        "active flag drifted at n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ticks_until_flip_is_the_min_positive_counter() {
+        let mut a = ActivityTracker::new(2, 5);
+        assert_eq!(a.ticks_until_flip(), Some(5));
+        a.tick();
+        a.tick();
+        assert_eq!(a.ticks_until_flip(), Some(3));
+        // One thread re-arms a counter; the minimum stays with the other.
+        a.on_alloc(ThreadId::new(0), ResourceKind::FpQueue);
+        assert_eq!(a.ticks_until_flip(), Some(3));
+        // Decay everything to zero: no flip can ever happen again.
+        a.tick_many(10);
+        assert_eq!(a.ticks_until_flip(), None);
     }
 
     #[test]

@@ -219,6 +219,14 @@ impl Policy for DcraDc {
             activity.on_alloc(t, d.resource());
         }
     }
+
+    // `on_idle_cycles`/`wants_fast_forward` stay at their declining
+    // defaults on purpose: DCRA-DC accumulates `slow_cycles` every cycle a
+    // thread has a pending L1 miss *and* rolls a degeneracy-detection
+    // window on cycle boundaries; replaying both on top of the decay cap
+    // buys little for a diagnostic policy, so it keeps stepping — correct,
+    // just not accelerated, and (because the capability hint is false) it
+    // never pays for an idle-deadline computation it would discard.
 }
 
 #[cfg(test)]

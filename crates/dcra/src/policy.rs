@@ -226,6 +226,23 @@ impl Policy for Dcra {
             self.activity_dirty |= activity.on_alloc(t, d.resource());
         }
     }
+
+    fn on_idle_cycles(&mut self, n: u64, _view: &CycleView) -> u64 {
+        // The only per-cycle state is the activity decay. Phases and usage
+        // are frozen on idle cycles, so the gated set — and therefore every
+        // fetch_gate answer — can only change when a decaying FP counter
+        // flips a thread inactive; `idle_replay` caps the span just short
+        // of the first flip.
+        match self.activity.as_mut() {
+            Some(activity) => activity.idle_replay(n),
+            // No cycle has run yet; nothing is decaying to replay.
+            None => 0,
+        }
+    }
+
+    fn wants_fast_forward(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -220,6 +220,20 @@ impl Policy for TableDcra {
             activity.on_alloc(t, d.resource());
         }
     }
+
+    fn on_idle_cycles(&mut self, n: u64, _view: &CycleView) -> u64 {
+        // Identical reasoning to `Dcra::on_idle_cycles`: decay is the only
+        // per-cycle state, and `idle_replay` stops just short of the first
+        // activity flip so the gated set stays frozen across the span.
+        match self.activity.as_mut() {
+            Some(activity) => activity.idle_replay(n),
+            None => 0,
+        }
+    }
+
+    fn wants_fast_forward(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

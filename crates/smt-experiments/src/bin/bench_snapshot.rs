@@ -32,6 +32,11 @@ use std::time::Instant;
 /// The 4-thread mix the `policies` Criterion bench and this snapshot share.
 const BENCHES: [&str; 4] = ["art", "gcc", "twolf", "swim"];
 
+/// A 4-thread MEM-class mix (every thread memory-bound): the workload
+/// family where stalled cycles dominate and the multi-cycle fast-forward
+/// path carries the run, tracked separately so its trajectory is visible.
+const MEM_BENCHES: [&str; 4] = ["mcf", "art", "swim", "twolf"];
+
 fn policies() -> Vec<PolicyKind> {
     [
         "RR", "ICOUNT", "STALL", "FLUSH", "FLUSH++", "DG", "PDG", "SRA", "DCRA",
@@ -41,13 +46,13 @@ fn policies() -> Vec<PolicyKind> {
     .collect()
 }
 
-fn prepared(policy: &PolicyKind) -> Simulator {
-    let profiles: Vec<_> = BENCHES
+fn prepared_mix(policy: &PolicyKind, benches: &[&str]) -> Simulator {
+    let profiles: Vec<_> = benches
         .iter()
         .map(|b| spec::profile(b).expect("known benchmark"))
         .collect();
     let mut sim = Simulator::new(
-        SimConfig::baseline(BENCHES.len()),
+        SimConfig::baseline(benches.len()),
         &profiles,
         policy.build(),
         42,
@@ -58,9 +63,13 @@ fn prepared(policy: &PolicyKind) -> Simulator {
     sim
 }
 
+fn prepared(policy: &PolicyKind) -> Simulator {
+    prepared_mix(policy, &BENCHES)
+}
+
 /// Median wall-clock cycles/second over `reps` chunks of `cycles` each.
-fn measure(policy: &PolicyKind, cycles: u64, reps: usize) -> f64 {
-    let mut sim = prepared(policy);
+fn measure_mix(policy: &PolicyKind, benches: &[&str], cycles: u64, reps: usize) -> f64 {
+    let mut sim = prepared_mix(policy, benches);
     let mut rates: Vec<f64> = (0..reps)
         .map(|_| {
             let t0 = Instant::now();
@@ -72,17 +81,21 @@ fn measure(policy: &PolicyKind, cycles: u64, reps: usize) -> f64 {
     rates[rates.len() / 2]
 }
 
+fn measure(policy: &PolicyKind, cycles: u64, reps: usize) -> f64 {
+    measure_mix(policy, &BENCHES, cycles, reps)
+}
+
 /// Per-stage cycle-cost breakdown: runs every policy for `cycles` cycles
-/// through [`Simulator::step_profiled`] and accumulates one aggregate
+/// through [`Simulator::run_cycles_profiled`] (the fast-forwarding loop,
+/// i.e. exactly what `run_cycles` executes) and accumulates one aggregate
 /// [`StageProfile`], so the snapshot records where the cycle loop spends
 /// its time (and future PRs can see which stage an optimisation moved).
+/// `skipped` counts the cycles covered by fast-forward jumps.
 fn measure_stage_breakdown(cycles: u64) -> StageProfile {
     let mut profile = StageProfile::default();
     for policy in policies() {
         let mut sim = prepared(&policy);
-        for _ in 0..cycles {
-            sim.step_profiled(&mut profile);
-        }
+        sim.run_cycles_profiled(cycles, &mut profile);
     }
     profile
 }
@@ -264,6 +277,39 @@ fn validate_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Strips characters that would need JSON escaping; host strings are
+/// embedded in hand-built JSON lines.
+fn json_safe(s: &str) -> String {
+    s.chars()
+        .filter(|c| !c.is_control() && *c != '"' && *c != '\\')
+        .collect::<String>()
+        .trim()
+        .to_string()
+}
+
+/// Host fingerprint `(cpu_model, governor)`: enough to attribute
+/// cross-host baseline drift (PR 4 saw ~3% between hosts) when comparing
+/// snapshot entries. Both degrade to `"unknown"` off Linux or in
+/// containers that hide the files.
+fn host_fingerprint() -> (String, String) {
+    let cpu = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(json_safe)
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let governor = std::fs::read_to_string("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor")
+        .map(|s| json_safe(&s))
+        .ok()
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    (cpu, governor)
+}
+
 /// Existing snapshot lines of `path` (one JSON object per line, as written
 /// by this tool). Unknown or absent files yield no lines.
 fn existing_snapshots(path: &str) -> Vec<String> {
@@ -320,17 +366,30 @@ fn main() {
     }
     let mean = sum / fields.len() as f64;
     eprintln!("{:>8}: {:>12.0} cycles/s", "mean", mean);
+    let mut mem_fields = Vec::new();
+    let mut mem_sum = 0.0;
+    for policy in policies() {
+        let rate = measure_mix(&policy, &MEM_BENCHES, cycles, reps);
+        eprintln!("{:>8}: {:>12.0} cycles/s (MEM mix)", policy.name(), rate);
+        mem_fields.push(format!("\"{}\": {:.0}", policy.name(), rate));
+        mem_sum += rate;
+    }
+    let mem_mean = mem_sum / mem_fields.len() as f64;
+    eprintln!("{:>8}: {:>12.0} cycles/s (MEM mix)", "mem mean", mem_mean);
     let (session_rate, fresh_rate) = measure_sweep_setup(if smoke { 9 } else { 27 });
     eprintln!(
         "{:>8}: {session_rate:>12.1} runs/s reused session, {fresh_rate:.1} fresh",
         "sweep"
     );
     let profile = measure_stage_breakdown(if smoke { 2_000 } else { 30_000 });
+    // `stage_pct` stays a pure share map (sums to ~100); the skipped-cycle
+    // fraction is a sibling top-level field.
     let stage_fields: Vec<String> = profile
         .shares()
         .iter()
         .map(|(name, share)| format!("\"{name}\": {:.1}", share * 100.0))
         .collect();
+    let skipped_pct = 100.0 * profile.skipped as f64 / profile.cycles.max(1) as f64;
     eprintln!(
         "{:>8}: {}",
         "stages",
@@ -342,15 +401,22 @@ fn main() {
             .join(", ")
     );
 
+    let (host_cpu, host_governor) = host_fingerprint();
+    eprintln!("{:>8}: {host_cpu} (governor {host_governor})", "host");
     let snapshot = format!(
         "{{ \"label\": \"{label}\", \"smoke\": {smoke}, \"measured_cycles\": {cycles}, \
+         \"host\": {{ \"cpu\": \"{host_cpu}\", \"governor\": \"{host_governor}\" }}, \
          \"mean_cycles_per_sec\": {mean:.0}, \
+         \"mem_mean_cycles_per_sec\": {mem_mean:.0}, \
          \"sweep_session_runs_per_sec\": {session_rate:.1}, \
          \"sweep_fresh_runs_per_sec\": {fresh_rate:.1}, \
+         \"skipped_cycles_pct\": {skipped_pct:.1}, \
          \"stage_pct\": {{ {} }}, \
-         \"cycles_per_sec\": {{ {} }} }}",
+         \"cycles_per_sec\": {{ {} }}, \
+         \"mem_cycles_per_sec\": {{ {} }} }}",
         stage_fields.join(", "),
-        fields.join(", ")
+        fields.join(", "),
+        mem_fields.join(", ")
     );
     let mut lines = existing_snapshots(&out);
     lines.retain(|l| !l.contains(&format!("\"label\": \"{label}\"")));

@@ -222,8 +222,15 @@ impl SimSession {
     ///
     /// # Panics
     ///
-    /// Panics if a benchmark name is unknown.
+    /// Panics if a benchmark name is unknown or the spec's machine
+    /// configuration is invalid ([`SimConfig::validate`] — a hard check
+    /// that holds in release builds, so e.g. a >8-thread config from a
+    /// deserialized sweep file fails loudly here instead of corrupting
+    /// issue ordering downstream).
     pub fn run(&mut self, spec: &RunSpec) -> RunOutcome {
+        spec.config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid run spec configuration: {e}"));
         let profiles = spec.profiles();
         let sim = match &mut self.sim {
             Some(sim) if sim.config() == &spec.config => {
@@ -437,6 +444,26 @@ mod tests {
                 "{alias} should parse as FLUSH++"
             );
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid run spec configuration")]
+    fn session_rejects_oversized_thread_configs() {
+        // Release builds must refuse >MAX_THREADS configs with a clear
+        // error: the ready-key packing (`seq << 3 | tid`) assumes tid < 8
+        // and only debug-asserts it on the hot path.
+        let mut spec = tiny(&["gzip", "mcf"], PolicyKind::Icount);
+        spec.config.threads = smt_isa::ThreadId::MAX_THREADS + 1;
+        spec.config.phys_regs = u32::MAX;
+        let _ = SimSession::new().run(&spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid run spec configuration")]
+    fn session_rejects_zero_sized_queues() {
+        let mut spec = tiny(&["gzip"], PolicyKind::Icount);
+        spec.config.fetch_queue = 0;
+        let _ = SimSession::new().run(&spec);
     }
 
     #[test]

@@ -8,7 +8,10 @@ use smt_sim::SimConfig;
 use smt_workloads::{table4_workloads, Workload, WorkloadType};
 
 /// Aggregated metrics of one policy on one workload class.
-#[derive(Debug, Clone, Copy)]
+///
+/// The all-zero `Default` doubles as the guarded "no data" value: empty
+/// classes and empty sweeps aggregate to zeros, never to NaN.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ClassMetrics {
     /// Mean IPC throughput over the class's four groups.
     pub throughput: f64,
@@ -30,17 +33,30 @@ pub struct PolicySweep {
 }
 
 impl PolicySweep {
-    /// Metrics of one class.
-    pub fn class(&self, threads: usize, kind: WorkloadType) -> ClassMetrics {
+    /// Metrics of one class, if the sweep covered it. Partial sweeps
+    /// (restricted thread counts, filtered workloads) simply lack some
+    /// classes.
+    pub fn try_class(&self, threads: usize, kind: WorkloadType) -> Option<ClassMetrics> {
         self.classes
             .iter()
             .find(|(t, k, _)| *t == threads && *k == kind)
             .map(|(_, _, m)| *m)
-            .expect("class present")
     }
 
-    /// Unweighted average over the 9 classes.
+    /// Metrics of one class. A class the sweep did not cover yields the
+    /// all-zero [`ClassMetrics`] instead of panicking, so figure binaries
+    /// render empty bins rather than dying on partial sweeps; use
+    /// [`PolicySweep::try_class`] to distinguish "absent" from "zero".
+    pub fn class(&self, threads: usize, kind: WorkloadType) -> ClassMetrics {
+        self.try_class(threads, kind).unwrap_or_default()
+    }
+
+    /// Unweighted average over the covered classes. An empty sweep
+    /// averages to the all-zero metrics, never to NaN.
     pub fn average(&self) -> ClassMetrics {
+        if self.classes.is_empty() {
+            return ClassMetrics::default();
+        }
         let n = self.classes.len() as f64;
         ClassMetrics {
             throughput: self
@@ -131,15 +147,23 @@ pub fn sweep_policy_threads(
     let classes = thread_counts
         .iter()
         .flat_map(|&t| WorkloadType::ALL.iter().map(move |&k| (t, k)))
-        .map(|(threads, kind)| {
+        .filter_map(|(threads, kind)| {
             let group: Vec<&SpecMetrics> = workloads
                 .iter()
                 .zip(&per_spec)
                 .filter(|(w, _)| w.threads() == threads && w.kind == kind)
                 .map(|(_, m)| m)
                 .collect();
+            // A class with no matching workloads (partial sweeps) is
+            // omitted entirely: no 0/0 = NaN row, and no all-zero
+            // placeholder silently dragging `average()` down —
+            // `try_class` reports the absence, `class()` renders it as an
+            // empty (zero) bin.
+            if group.is_empty() {
+                return None;
+            }
             let n = group.len() as f64;
-            (
+            Some((
                 threads,
                 kind,
                 ClassMetrics {
@@ -148,7 +172,7 @@ pub fn sweep_policy_threads(
                     fetch_per_commit: group.iter().map(|m| m.fpc).sum::<f64>() / n,
                     mlp: group.iter().map(|m| m.mlp).sum::<f64>() / n,
                 },
-            )
+            ))
         })
         .collect();
     PolicySweep {
@@ -180,6 +204,73 @@ pub fn sensitivity_lengths() -> RunSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn empty_sweep_averages_to_zero_not_nan() {
+        let sweep = PolicySweep {
+            policy: "EMPTY".into(),
+            classes: Vec::new(),
+        };
+        let avg = sweep.average();
+        assert_eq!(avg.throughput, 0.0);
+        assert_eq!(avg.hmean, 0.0);
+        assert_eq!(avg.fetch_per_commit, 0.0);
+        assert_eq!(avg.mlp, 0.0);
+        assert!(avg.throughput.is_finite(), "no NaN rows from empty sweeps");
+    }
+
+    #[test]
+    fn missing_class_yields_guarded_zero_metrics() {
+        // A partial sweep (2-thread only) queried for a 4-thread bin must
+        // not panic; it renders as an all-zero bin.
+        let sweep = PolicySweep {
+            policy: "PARTIAL".into(),
+            classes: vec![(
+                2,
+                WorkloadType::Mem,
+                ClassMetrics {
+                    throughput: 1.5,
+                    hmean: 0.4,
+                    fetch_per_commit: 1.2,
+                    mlp: 2.0,
+                },
+            )],
+        };
+        assert!(sweep.try_class(4, WorkloadType::Ilp).is_none());
+        let absent = sweep.class(4, WorkloadType::Ilp);
+        assert_eq!(absent.throughput, 0.0);
+        assert!(absent.hmean.is_finite());
+        let present = sweep.class(2, WorkloadType::Mem);
+        assert_eq!(present.throughput, 1.5);
+        let avg = sweep.average();
+        assert!((avg.throughput - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_thread_sweep_has_finite_rows() {
+        // Restricting thread counts produces classes with no workloads in
+        // some bins of custom filters; every row must stay finite.
+        let runner = Runner::new();
+        let mut lengths = sweep_lengths();
+        lengths.prewarm_insts = 2_000;
+        lengths.warmup_cycles = 200;
+        lengths.measure_cycles = 1_000;
+        let sweep = sweep_policy_threads(
+            &runner,
+            &PolicyKind::Icount,
+            &SimConfig::baseline(2),
+            &lengths,
+            &[2],
+        );
+        assert_eq!(sweep.classes.len(), 3, "three classes for one thread count");
+        for (_, _, m) in &sweep.classes {
+            assert!(m.throughput.is_finite());
+            assert!(m.hmean.is_finite());
+            assert!(m.fetch_per_commit.is_finite());
+            assert!(m.mlp.is_finite());
+        }
+        assert!(sweep.average().throughput.is_finite());
+    }
 
     #[test]
     fn sweep_aggregates_nine_classes() {

@@ -329,6 +329,27 @@ impl MemoryHierarchy {
         self.mshr.outstanding_into(now, counts);
     }
 
+    /// Earliest cycle at which any in-flight *memory-level* fill
+    /// completes, or `None` when none is outstanding. Strictly before
+    /// this cycle the per-thread outstanding-miss counts cannot change
+    /// (they track memory-level fills only), which is what lets the
+    /// simulator fast-forward through stalled spans without losing
+    /// per-cycle MLP samples.
+    pub fn next_fill_ready_at(&mut self) -> Option<u64> {
+        self.mshr.next_ready_at()
+    }
+
+    /// Collects every fill whose deadline is at or before `now` — exactly
+    /// what the per-cycle MLP sampling does as a side effect in a stepped
+    /// run. The simulator calls this after a fast-forward jump so the MSHR
+    /// map matches the stepped core's state cycle for cycle: L2-level
+    /// fills may expire *inside* a skipped span, and a dead entry left in
+    /// the map would block re-allocation of the same line on the resumed
+    /// cycle (see [`MshrFile::purge_expired`]).
+    pub fn collect_expired_fills(&mut self, now: u64) {
+        self.mshr.purge_expired(now);
+    }
+
     /// Per-thread statistics.
     pub fn thread_stats(&self, t: ThreadId) -> ThreadMemStats {
         self.stats[t.index()]

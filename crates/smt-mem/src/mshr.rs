@@ -45,6 +45,11 @@ pub struct MshrFile {
     /// leaves its node behind, which is recognised and skipped when it
     /// surfaces.
     expiry: BinaryHeap<Reverse<(u64, u64)>>,
+    /// `(ready_at, line)` of *memory-level* inserts only — the fills the
+    /// MLP counters track. Same lazy-mirror discipline as `expiry`; read
+    /// (and pruned) exclusively by [`MshrFile::next_ready_at`], so popping
+    /// its stale nodes never disturbs the main expiry bookkeeping.
+    mem_expiry: BinaryHeap<Reverse<(u64, u64)>>,
     /// Memory-level fills currently tracked, per thread (grown on demand).
     mem_inflight: Vec<u32>,
 }
@@ -71,6 +76,7 @@ impl MshrFile {
         if inserted {
             self.expiry.push(Reverse((ready_at, line)));
             if level == HitLevel::Memory {
+                self.mem_expiry.push(Reverse((ready_at, line)));
                 let slot = owner.index();
                 if slot >= self.mem_inflight.len() {
                     self.mem_inflight.resize(slot + 1, 0);
@@ -93,7 +99,13 @@ impl MshrFile {
     /// entries that are genuinely done. A node whose map entry is missing
     /// (collected early by [`MshrFile::remaining`]) or was re-allocated
     /// with a later deadline is skipped.
-    fn purge_expired(&mut self, now: u64) {
+    ///
+    /// Public because the simulator's fast-forward must replay it: the
+    /// stepped core purges once per cycle (via
+    /// [`MshrFile::outstanding_into`]), and a dead entry left behind by a
+    /// skipped purge would block [`MshrFile::allocate`]'s insert for a
+    /// re-missed line — observably diverging from the stepped run.
+    pub fn purge_expired(&mut self, now: u64) {
         while let Some(&Reverse((ready_at, line))) = self.expiry.peek() {
             if ready_at > now {
                 break;
@@ -149,11 +161,40 @@ impl MshrFile {
         counts[..n].copy_from_slice(&self.mem_inflight[..n]);
     }
 
+    /// Earliest completion cycle of any in-flight *memory-level* fill, or
+    /// `None` when none is in flight. Stale nodes (fills collected early
+    /// by [`MshrFile::remaining`], or lines re-allocated with a different
+    /// deadline or level) are discarded on the way.
+    ///
+    /// This is the fast-forward bound for the simulator's per-cycle MLP
+    /// sampling: the MLP counters track memory-level fills only, so
+    /// strictly before this cycle the per-thread outstanding-miss counts
+    /// are provably constant — L2-level fills may expire mid-span without
+    /// observable effect (their lazy map cleanup happens on the next
+    /// purge or touch either way).
+    pub fn next_ready_at(&mut self) -> Option<u64> {
+        while let Some(&Reverse((ready_at, line))) = self.mem_expiry.peek() {
+            // A live node always matches its map entry exactly: `allocate`
+            // pushes the node together with the entry, and entries never
+            // change deadline or level. Anything else is stale.
+            let live = self
+                .entries
+                .get(&line)
+                .is_some_and(|e| e.ready_at == ready_at && e.level == HitLevel::Memory);
+            if live {
+                return Some(ready_at);
+            }
+            self.mem_expiry.pop();
+        }
+        None
+    }
+
     /// Drops every tracked fill and zeroes the MLP counters, keeping the
     /// map/heap allocations. Bit-identical to a fresh MSHR file.
     pub fn reset_cold(&mut self) {
         self.entries.clear();
         self.expiry.clear();
+        self.mem_expiry.clear();
         self.mem_inflight.clear();
     }
 
@@ -198,6 +239,67 @@ mod tests {
         m.allocate(2, ThreadId::new(0), HitLevel::L2, 400);
         m.allocate(3, ThreadId::new(1), HitLevel::Memory, 400);
         assert_eq!(m.outstanding_per_thread(0, 2), vec![1, 1]);
+    }
+
+    #[test]
+    fn next_ready_at_tracks_memory_level_fills_only() {
+        let mut m = MshrFile::new();
+        assert_eq!(m.next_ready_at(), None);
+        // An L2-level fill is invisible to the MLP counters and must not
+        // bound the fast-forward span.
+        m.allocate(2, ThreadId::new(0), HitLevel::L2, 40);
+        assert_eq!(m.next_ready_at(), None);
+        m.allocate(1, ThreadId::new(0), HitLevel::Memory, 100);
+        m.allocate(3, ThreadId::new(1), HitLevel::Memory, 60);
+        assert_eq!(m.next_ready_at(), Some(60));
+        // Drain the earliest memory fill: the next one takes over.
+        assert_eq!(m.remaining(3, 60), None);
+        assert_eq!(m.next_ready_at(), Some(100));
+        assert_eq!(m.remaining(1, 100), None);
+        assert_eq!(m.next_ready_at(), None);
+    }
+
+    #[test]
+    fn next_ready_at_skips_stale_and_relevelled_nodes() {
+        let mut m = MshrFile::new();
+        m.allocate(7, ThreadId::new(0), HitLevel::Memory, 50);
+        assert_eq!(m.next_ready_at(), Some(50));
+        // Early-collect line 7 and re-allocate it as an L2 fill with the
+        // *same* deadline: the old memory-level node is stale (level
+        // mismatch) and must be skipped.
+        assert_eq!(m.remaining(7, 50), None);
+        m.allocate(7, ThreadId::new(1), HitLevel::L2, 50);
+        assert_eq!(m.next_ready_at(), None);
+        // Re-allocate as memory with a later deadline after collection.
+        assert_eq!(m.remaining(7, 50), None);
+        m.allocate(7, ThreadId::new(1), HitLevel::Memory, 90);
+        assert_eq!(m.next_ready_at(), Some(90));
+    }
+
+    #[test]
+    fn dead_entry_blocks_reallocation_until_purged() {
+        // The per-cycle purge is part of the simulator's observable
+        // semantics: a fill that expired but was never purged (its line's
+        // purge cycles were fast-forwarded over) blocks `allocate`'s
+        // insert for the same line. The fast-forward path therefore
+        // replays the purge up to the cycle before the resumed one; this
+        // pins the mechanism at the MSHR level.
+        let mut m = MshrFile::new();
+        m.allocate(5, ThreadId::new(0), HitLevel::L2, 100);
+        // No purge ran between cycles 100 and 150 (skipped span): the
+        // dead entry still occupies the slot and swallows the new fill.
+        let mut blocked = m.clone();
+        blocked.allocate(5, ThreadId::new(0), HitLevel::Memory, 450);
+        assert_eq!(
+            blocked.outstanding_per_thread(150, 1),
+            vec![0],
+            "dead entry must swallow the re-allocation (documented hazard)"
+        );
+        // With the purge replayed first, the re-allocation lands.
+        m.purge_expired(149);
+        m.allocate(5, ThreadId::new(0), HitLevel::Memory, 450);
+        assert_eq!(m.outstanding_per_thread(150, 1), vec![1]);
+        assert_eq!(m.next_ready_at(), Some(450));
     }
 
     #[test]

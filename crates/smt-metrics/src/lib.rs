@@ -59,23 +59,38 @@ pub fn speedups(multi_ipcs: &[f64], single_ipcs: &[f64]) -> Vec<f64> {
 /// The Hmean metric: harmonic mean of per-thread speedups. Exposes
 /// "artificial" throughput obtained by starving slow threads — a policy
 /// that runs one thread at full speed and another at zero scores 0.
+///
+/// Guarded against the degenerate inputs partial sweeps can produce: an
+/// empty slice scores 0 (not NaN from 0/0), a zero-IPC thread scores the
+/// whole workload 0 (its reciprocal speedup is treated as infinite), and
+/// NaN can never propagate out of the reduction.
 pub fn hmean(multi_ipcs: &[f64], single_ipcs: &[f64]) -> f64 {
     let sp = speedups(multi_ipcs, single_ipcs);
+    if sp.is_empty() {
+        return 0.0;
+    }
     let n = sp.len() as f64;
     let denom: f64 = sp
         .iter()
         .map(|&s| if s > 0.0 { 1.0 / s } else { f64::INFINITY })
         .sum();
-    if denom.is_infinite() {
+    if denom.is_infinite() || denom.is_nan() || denom <= 0.0 {
+        // Infinite: some thread is fully starved -> 0 by definition.
+        // Non-positive or NaN cannot arise from positive speedups, but a
+        // guarded 0 beats poisoning a whole figure bin.
         0.0
     } else {
         n / denom
     }
 }
 
-/// Weighted speedup: arithmetic mean of per-thread speedups.
+/// Weighted speedup: arithmetic mean of per-thread speedups. An empty
+/// slice scores 0 (not NaN).
 pub fn weighted_speedup(multi_ipcs: &[f64], single_ipcs: &[f64]) -> f64 {
     let sp = speedups(multi_ipcs, single_ipcs);
+    if sp.is_empty() {
+        return 0.0;
+    }
     sp.iter().sum::<f64>() / sp.len() as f64
 }
 
@@ -148,6 +163,27 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_baseline_rejected() {
         let _ = speedups(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn empty_inputs_score_zero_not_nan() {
+        // Empty or fully-starved inputs must yield finite, zero scores —
+        // a NaN here used to poison whole figure bins in partial sweeps.
+        assert_eq!(hmean(&[], &[]), 0.0);
+        assert_eq!(weighted_speedup(&[], &[]), 0.0);
+        assert!(hmean(&[], &[]).is_finite());
+    }
+
+    #[test]
+    fn zero_ipc_threads_never_produce_inf_or_nan() {
+        let single = [2.0, 2.0, 2.0];
+        for multi in [[0.0, 0.0, 0.0], [1.0, 0.0, 1.0], [0.0, 1.0, 0.0]] {
+            let h = hmean(&multi, &single);
+            assert_eq!(h, 0.0, "starved thread must zero the Hmean");
+            assert!(h.is_finite());
+            let w = weighted_speedup(&multi, &single);
+            assert!(w.is_finite(), "weighted speedup must stay finite");
+        }
     }
 
     #[test]

@@ -35,6 +35,16 @@ impl Policy for DataGating {
     fn fetch_gate(&mut self, t: ThreadId, view: &CycleView) -> bool {
         view.l1d_pending(t) == 0
     }
+
+    fn on_idle_cycles(&mut self, n: u64, _view: &CycleView) -> u64 {
+        // Stateless per cycle: the gate reads the `l1d_pending` lane,
+        // which only moves on events.
+        n
+    }
+
+    fn wants_fast_forward(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,15 @@ impl Policy for Flush {
     fn on_l2_miss_detected(&mut self, _t: ThreadId, _view: &CycleView) -> MissResponse {
         MissResponse::Flush
     }
+
+    fn on_idle_cycles(&mut self, n: u64, _view: &CycleView) -> u64 {
+        // Stateless per cycle, like STALL.
+        n
+    }
+
+    fn wants_fast_forward(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

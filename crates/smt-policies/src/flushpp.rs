@@ -53,15 +53,9 @@ impl FlushPlusPlus {
     fn mem_threads(&self) -> usize {
         self.pressure
     }
-}
 
-impl Policy for FlushPlusPlus {
-    fn name(&self) -> &str {
-        "FLUSH++"
-    }
-
-    fn begin_cycle(&mut self, view: &CycleView) {
-        let n = view.thread_count();
+    /// (Re)sizes the per-thread window state for `n` threads if needed.
+    fn ensure(&mut self, n: usize) {
         if self.window_base.len() != n {
             self.window_base = vec![(0, 0); n];
             self.rates = vec![0.0; n];
@@ -70,28 +64,47 @@ impl Policy for FlushPlusPlus {
             // next window rollover.
             self.pressure = 0;
         }
+    }
+
+    /// One window rollover at cycle `at`: recompute the per-thread miss
+    /// rates from the counter deltas since the previous rollover and
+    /// memoize the pressure count. Shared by the per-cycle path
+    /// (`begin_cycle`) and the idle-cycle replay.
+    fn roll_window(&mut self, at: u64, view: &CycleView) {
+        self.last_window = at;
+        let n = view.thread_count();
+        let (all_loads, all_misses) = (view.load_counts(), view.l2_miss_counts());
+        for i in 0..n {
+            let (loads0, misses0) = self.window_base[i];
+            // saturating: the simulator may reset its statistics
+            // between windows (end of warm-up), which rewinds the
+            // absolute counters.
+            let loads = all_loads[i].saturating_sub(loads0);
+            let misses = all_misses[i].saturating_sub(misses0);
+            self.rates[i] = if loads == 0 {
+                0.0
+            } else {
+                misses as f64 / loads as f64
+            };
+            self.window_base[i] = (all_loads[i], all_misses[i]);
+        }
+        self.pressure = self
+            .rates
+            .iter()
+            .filter(|&&r| r > Self::MEM_THRESHOLD)
+            .count();
+    }
+}
+
+impl Policy for FlushPlusPlus {
+    fn name(&self) -> &str {
+        "FLUSH++"
+    }
+
+    fn begin_cycle(&mut self, view: &CycleView) {
+        self.ensure(view.thread_count());
         if view.now >= self.last_window + Self::WINDOW {
-            self.last_window = view.now;
-            let (all_loads, all_misses) = (view.load_counts(), view.l2_miss_counts());
-            for i in 0..n {
-                let (loads0, misses0) = self.window_base[i];
-                // saturating: the simulator may reset its statistics
-                // between windows (end of warm-up), which rewinds the
-                // absolute counters.
-                let loads = all_loads[i].saturating_sub(loads0);
-                let misses = all_misses[i].saturating_sub(misses0);
-                self.rates[i] = if loads == 0 {
-                    0.0
-                } else {
-                    misses as f64 / loads as f64
-                };
-                self.window_base[i] = (all_loads[i], all_misses[i]);
-            }
-            self.pressure = self
-                .rates
-                .iter()
-                .filter(|&&r| r > Self::MEM_THRESHOLD)
-                .count();
+            self.roll_window(view.now, view);
         }
     }
 
@@ -113,6 +126,38 @@ impl Policy for FlushPlusPlus {
         } else {
             MissResponse::Stall
         }
+    }
+
+    fn on_idle_cycles(&mut self, n: u64, view: &CycleView) -> u64 {
+        // Gating reads the (event-driven, hence frozen) `l2_pending` lane;
+        // the only per-cycle state is the pressure window. Rollovers that
+        // would have happened inside the span are replayed: the first one
+        // sees the real counter deltas accumulated since the last rollover
+        // (identical to what `begin_cycle` would compute at that cycle);
+        // later ones see zero deltas — the counters cannot move while the
+        // machine is idle — so every rate collapses to 0 and the pressure
+        // to "no memory-bounded threads".
+        self.ensure(view.thread_count());
+        let (start, end) = (view.now, view.now + n); // skipped span, exclusive end
+        let first = (self.last_window + Self::WINDOW).max(start);
+        if first < end {
+            self.roll_window(first, view);
+            let later = (end - 1 - first) / Self::WINDOW;
+            if later > 0 {
+                self.last_window += later * Self::WINDOW;
+                for r in &mut self.rates {
+                    *r = 0.0;
+                }
+                self.pressure = 0;
+                // `window_base` already holds the span's (frozen) counters
+                // from the first rollover.
+            }
+        }
+        n
+    }
+
+    fn wants_fast_forward(&self) -> bool {
+        true
     }
 }
 
@@ -154,6 +199,43 @@ mod tests {
             p.on_l2_miss_detected(ThreadId::new(0), &v),
             MissResponse::Flush
         );
+    }
+
+    #[test]
+    fn idle_replay_matches_stepped_windows() {
+        // Replaying k idle cycles must leave the window state exactly
+        // where k stepped `begin_cycle` calls (over a frozen view) would.
+        // Exercise spans that contain zero, one and several rollovers, and
+        // spans that start mid-window.
+        let counters = [(1000u64, 100u64), (1000, 0)];
+        for warm in [0u64, 1, FlushPlusPlus::WINDOW - 1] {
+            for span in [
+                1u64,
+                2,
+                FlushPlusPlus::WINDOW,
+                3 * FlushPlusPlus::WINDOW + 7,
+            ] {
+                let mut stepped = FlushPlusPlus::default();
+                let mut jumped = FlushPlusPlus::default();
+                for t in 0..warm {
+                    stepped.begin_cycle(&view_with(&counters, t));
+                    jumped.begin_cycle(&view_with(&counters, t));
+                }
+                for t in warm..warm + span {
+                    stepped.begin_cycle(&view_with(&counters, t));
+                }
+                assert_eq!(
+                    jumped.on_idle_cycles(span, &view_with(&counters, warm)),
+                    span
+                );
+                assert_eq!(
+                    (stepped.last_window, stepped.pressure, &stepped.rates),
+                    (jumped.last_window, jumped.pressure, &jumped.rates),
+                    "window state drifted (warm={warm}, span={span})"
+                );
+                assert_eq!(stepped.window_base, jumped.window_base);
+            }
+        }
     }
 
     #[test]

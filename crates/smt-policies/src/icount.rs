@@ -90,6 +90,16 @@ impl Policy for Icount {
     fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>) {
         icount_order_into(view, order);
     }
+
+    fn on_idle_cycles(&mut self, n: u64, _view: &CycleView) -> u64 {
+        // Stateless per cycle: the ICOUNT order is a pure function of the
+        // view, which cannot change while the machine is idle.
+        n
+    }
+
+    fn wants_fast_forward(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -115,6 +115,17 @@ impl Policy for PredictiveDataGating {
         true
     }
 
+    fn on_idle_cycles(&mut self, n: u64, _view: &CycleView) -> u64 {
+        // The predictor table and the in-flight multisets only move on
+        // fetch, load completion and squash — none of which happen on an
+        // idle cycle — so the gate decision is frozen for the whole span.
+        n
+    }
+
+    fn wants_fast_forward(&self) -> bool {
+        true
+    }
+
     fn on_squash_inst(&mut self, t: ThreadId, inst: &DecodedInst) {
         if inst.class == InstClass::Load {
             self.ensure(t.index() + 1);

@@ -92,6 +92,16 @@ impl Policy for StaticAllocation {
             .iter()
             .any(|&r| usage[r] < self.cap(r, view))
     }
+
+    fn on_idle_cycles(&mut self, n: u64, _view: &CycleView) -> u64 {
+        // The caps are static and both gates are pure functions of the
+        // usage lanes, which cannot move while the machine is idle.
+        n
+    }
+
+    fn wants_fast_forward(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

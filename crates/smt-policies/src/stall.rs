@@ -43,6 +43,17 @@ impl Policy for Stall {
     fn on_l2_miss_detected(&mut self, _t: ThreadId, _view: &CycleView) -> MissResponse {
         MissResponse::Stall
     }
+
+    fn on_idle_cycles(&mut self, n: u64, _view: &CycleView) -> u64 {
+        // Stateless per cycle: order and gate are pure functions of the
+        // view (the `l2_pending` lane only moves on events, which end an
+        // idle span).
+        n
+    }
+
+    fn wants_fast_forward(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

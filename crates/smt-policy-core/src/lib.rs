@@ -397,6 +397,58 @@ pub trait Policy {
     fn wants_squash_inst(&self) -> bool {
         false
     }
+
+    /// Fast-forward hook: replay up to `n` *idle* cycles' worth of
+    /// per-cycle policy side effects arithmetically and return how many
+    /// were replayed.
+    ///
+    /// The simulator calls this after a cycle in which the whole machine
+    /// was provably idle — no event delivered, nothing committed, issued,
+    /// dispatched or fetched — and it has computed that the machine state
+    /// cannot change before `view.now + n` (next event-wheel deadline,
+    /// dispatch eligibility, I-cache stall expiry and MSHR fill arrival
+    /// are all at least `n` cycles away). `view` is the machine state the
+    /// skipped cycles would all observe; `view.now` is the first skipped
+    /// cycle.
+    ///
+    /// A policy returning `k > 0` asserts that for the cycles
+    /// `view.now .. view.now + k`:
+    ///
+    /// * [`Policy::begin_cycle`] and [`Policy::fetch_order`] would have
+    ///   had no *externally observable* effect beyond what this call
+    ///   replays internally (rotation state, decay counters, window
+    ///   rollovers, ...), and
+    /// * every [`Policy::fetch_gate`] decision would have been identical
+    ///   to the decision made in the idle cycle just executed (the
+    ///   simulator replays `gated_cycles` statistics under that
+    ///   assumption), and
+    /// * every [`Policy::may_dispatch`] decision would have been identical
+    ///   too (the simulator replays `blocked_policy` charges and assumes a
+    ///   refused dispatch stays refused for the whole span), and
+    /// * [`Policy::fetch_order`] would have listed the same *set* of
+    ///   threads (the permutation is irrelevant on an idle cycle).
+    ///
+    /// Returning less than `n` ends the fast-forward early (the simulator
+    /// resumes stepping, so a policy whose decisions change mid-span —
+    /// e.g. DCRA when an activity counter is about to flip a thread
+    /// inactive — simply caps the jump). The default returns `0`: a policy
+    /// that does not override this never fast-forwards, which is always
+    /// correct, only slower. Policies that replay should override this
+    /// *and* [`Policy::wants_fast_forward`] together.
+    fn on_idle_cycles(&mut self, _n: u64, _view: &CycleView) -> u64 {
+        0
+    }
+
+    /// `true` if [`Policy::on_idle_cycles`] can ever accept a span. When
+    /// `false` (the default — matching `on_idle_cycles`'s declining
+    /// default, so an un-audited policy is both safe *and* free), the
+    /// simulator's fast-forward path bails out before computing the idle
+    /// deadline (an O(threads) scan plus event-wheel and MSHR probes)
+    /// whose result the policy would discard every idle cycle. Override
+    /// to `true` alongside `on_idle_cycles`.
+    fn wants_fast_forward(&self) -> bool {
+        false
+    }
 }
 
 /// Round-robin over runnable threads — the simplest possible fetch order,
@@ -416,6 +468,20 @@ impl Policy for RoundRobin {
         let start = self.start;
         self.start = (self.start + 1) % n.max(1);
         order.extend((0..n).map(|i| ThreadId::new((start + i) % n)));
+    }
+
+    fn on_idle_cycles(&mut self, n: u64, view: &CycleView) -> u64 {
+        // The only per-cycle state is the rotation origin, which advances
+        // once per `fetch_order` call; RR never gates, so the order
+        // permutation is the sole effect and it is invisible on idle
+        // cycles.
+        let m = view.thread_count().max(1);
+        self.start = (self.start + (n % m as u64) as usize) % m;
+        n
+    }
+
+    fn wants_fast_forward(&self) -> bool {
+        true
     }
 }
 
@@ -451,6 +517,57 @@ mod tests {
             rr.on_l2_miss_detected(ThreadId::new(0), &v),
             MissResponse::Continue
         );
+    }
+
+    #[test]
+    fn idle_replay_matches_stepped_rotation() {
+        // Skipping k idle cycles must leave RR in exactly the state k
+        // fetch_order calls would have — including spans far larger than
+        // the thread count, where the `n % threads` arithmetic carries
+        // the load.
+        let v = view(3);
+        for warm in [0usize, 1, 2, 5] {
+            for k in [0u64, 1, 2, 3, 7, 50, 4_099, 1_000_003] {
+                let mut stepped = RoundRobin::default();
+                let mut jumped = RoundRobin::default();
+                // Desynchronise the starting origin from zero.
+                for _ in 0..warm {
+                    let (mut buf, mut buf2) = (Vec::new(), Vec::new());
+                    stepped.fetch_order(&v, &mut buf);
+                    jumped.fetch_order(&v, &mut buf2);
+                }
+                for _ in 0..k {
+                    let mut buf = Vec::new();
+                    stepped.fetch_order(&v, &mut buf);
+                }
+                assert_eq!(jumped.on_idle_cycles(k, &v), k);
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                stepped.fetch_order(&v, &mut a);
+                jumped.fetch_order(&v, &mut b);
+                assert_eq!(a, b, "rotation drifted after replaying {k} cycles");
+            }
+        }
+    }
+
+    #[test]
+    fn default_idle_replay_declines() {
+        // A policy that does not override the hook must never be
+        // fast-forwarded past.
+        struct Plain;
+        impl Policy for Plain {
+            fn name(&self) -> &str {
+                "PLAIN"
+            }
+            fn fetch_order(&mut self, view: &CycleView, order: &mut Vec<ThreadId>) {
+                order.extend((0..view.thread_count()).map(ThreadId::new));
+            }
+        }
+        assert_eq!(Plain.on_idle_cycles(1_000, &view(2)), 0);
+        assert!(
+            !Plain.wants_fast_forward(),
+            "declining default must also opt out of the deadline computation"
+        );
+        assert!(RoundRobin::default().wants_fast_forward());
     }
 
     #[test]

@@ -140,13 +140,38 @@ impl SimConfig {
         self.rename_pool()
     }
 
-    /// Validates cross-field consistency.
+    /// Largest window span (ROB + fetch-queue entries) a configuration may
+    /// request. The per-thread rings are power-of-two sized from this sum;
+    /// the cap keeps them addressable and guards against absurd
+    /// deserialized configurations allocating gigabytes per thread.
+    pub const MAX_WINDOW_SPAN: u32 = 1 << 24;
+
+    /// Validates cross-field consistency. A *hard* check (plain `Result`,
+    /// no `debug_assert`): it runs identically in release builds, where it
+    /// backstops invariants the hot path only `debug_assert`s — most
+    /// importantly the `threads <= ThreadId::MAX_THREADS` bound that the
+    /// issue stage's `ReadyEntry` key packing (`seq << 3 | tid`) and the
+    /// fast-forward thread bitmasks rely on. [`Simulator::new`] and the
+    /// experiment session layer both call it before running.
+    ///
+    /// [`Simulator::new`]: crate::Simulator::new
     ///
     /// # Errors
     ///
-    /// Returns a message if widths are zero or resources are too small to
-    /// make forward progress.
+    /// Returns a message if the thread count is out of range, widths are
+    /// zero, queues/windows are zero-sized or too large for the ring
+    /// storage, or resources are too small to make forward progress.
     pub fn validate(&self) -> Result<(), String> {
+        if self.threads == 0 {
+            return Err("need at least one hardware thread".into());
+        }
+        if self.threads > smt_isa::ThreadId::MAX_THREADS {
+            return Err(format!(
+                "thread count {} exceeds the supported maximum {}",
+                self.threads,
+                smt_isa::ThreadId::MAX_THREADS
+            ));
+        }
         if self.fetch_width == 0 || self.decode_width == 0 || self.commit_width == 0 {
             return Err("pipeline widths must be non-zero".into());
         }
@@ -155,6 +180,17 @@ impl SimConfig {
         }
         if self.iq_entries == 0 || self.rob_entries == 0 || self.fetch_queue == 0 {
             return Err("queues must be non-empty".into());
+        }
+        match self.rob_entries.checked_add(self.fetch_queue) {
+            None => return Err("ROB + fetch queue overflows the window span".into()),
+            Some(span) if span > Self::MAX_WINDOW_SPAN => {
+                return Err(format!(
+                    "window span {span} (ROB + fetch queue) exceeds the ring \
+                     capacity limit {}",
+                    Self::MAX_WINDOW_SPAN
+                ));
+            }
+            Some(_) => {}
         }
         if self.int_units == 0 || self.ls_units == 0 {
             return Err("need at least one int and one ls unit".into());
@@ -233,5 +269,66 @@ mod tests {
     #[should_panic(expected = "unsupported")]
     fn zero_threads_rejected() {
         let _ = SimConfig::baseline(0);
+    }
+
+    #[test]
+    fn validate_rejects_thread_counts_out_of_range() {
+        // `baseline` asserts its argument, but a deserialized or mutated
+        // config can carry any `threads` value; `validate` must reject it
+        // with a plain error (release builds included) before the issue
+        // stage's `seq << 3 | tid` key packing could silently corrupt
+        // ordering for tid >= 8.
+        let mut c = SimConfig::baseline(4);
+        c.threads = 0;
+        assert!(c.validate().unwrap_err().contains("at least one"));
+        c.threads = smt_isa::ThreadId::MAX_THREADS + 1;
+        assert!(c.validate().unwrap_err().contains("exceeds"));
+        // Give the out-of-range config enough registers so the thread
+        // bound is really what trips, not the register check.
+        c.phys_regs = u32::MAX;
+        assert!(c.validate().unwrap_err().contains("exceeds"));
+        c.threads = smt_isa::ThreadId::MAX_THREADS;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_sized_windows_and_queues() {
+        for field in ["fetch_width", "decode_width", "commit_width"] {
+            let mut c = SimConfig::baseline(2);
+            match field {
+                "fetch_width" => c.fetch_width = 0,
+                "decode_width" => c.decode_width = 0,
+                _ => c.commit_width = 0,
+            }
+            assert!(c.validate().is_err(), "{field} = 0 must be rejected");
+        }
+        for field in ["iq_entries", "rob_entries", "fetch_queue"] {
+            let mut c = SimConfig::baseline(2);
+            match field {
+                "iq_entries" => c.iq_entries = 0,
+                "rob_entries" => c.rob_entries = 0,
+                _ => c.fetch_queue = 0,
+            }
+            assert!(c.validate().is_err(), "{field} = 0 must be rejected");
+        }
+        let mut c = SimConfig::baseline(2);
+        c.fetch_threads = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_caps_ring_capacities() {
+        let mut c = SimConfig::baseline(2);
+        c.rob_entries = u32::MAX;
+        c.fetch_queue = 2;
+        assert!(
+            c.validate().unwrap_err().contains("overflow"),
+            "u32 overflow of the window span must be rejected"
+        );
+        c.rob_entries = SimConfig::MAX_WINDOW_SPAN;
+        c.fetch_queue = 1;
+        assert!(c.validate().unwrap_err().contains("ring capacity"));
+        c.rob_entries = SimConfig::MAX_WINDOW_SPAN - 1;
+        assert!(c.validate().is_ok());
     }
 }

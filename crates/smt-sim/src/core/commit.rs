@@ -58,6 +58,9 @@ impl Simulator {
 
         // 3. Burst-retire. Split borrows: each thread's window walk and
         // the shared counters update side by side.
+        if budget != width {
+            self.idle.active = true; // something retires this cycle
+        }
         for (k, &take) in alloc.iter().enumerate().take(n) {
             if take == 0 {
                 continue;

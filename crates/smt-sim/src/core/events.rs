@@ -67,6 +67,11 @@ impl Eq for ReadyEntry {}
 impl ReadyEntry {
     #[inline]
     pub fn new(at: u64, seq: u64, tid: usize, uid: u64) -> Self {
+        // `tid < 8` is a hard invariant of the whole simulator, enforced in
+        // release builds by `SimConfig::validate` (rejected before any
+        // `ReadyEntry` can exist) and by the `ThreadId::new` assert; the
+        // debug_assert here is a local reminder that the `seq << 3 | tid`
+        // packing below would corrupt issue ordering if it ever broke.
         debug_assert!(tid < smt_isa::ThreadId::MAX_THREADS);
         ReadyEntry {
             at,
@@ -117,6 +122,9 @@ pub(crate) struct EventWheel {
     overflow: BinaryHeap<Reverse<Event>>,
     /// Drain scratch, reused every cycle.
     due: Vec<Event>,
+    /// Scheduled events currently live (wheel + overflow), so the
+    /// fast-forward deadline scan can bail out in O(1) on an empty wheel.
+    len: usize,
 }
 
 impl EventWheel {
@@ -126,6 +134,7 @@ impl EventWheel {
             slots: SeqRing::new((max_delay + 2).max(16) as usize, Vec::new()),
             overflow: BinaryHeap::new(),
             due: Vec::new(),
+            len: 0,
         }
     }
 
@@ -140,6 +149,36 @@ impl EventWheel {
         } else {
             self.overflow.push(Reverse(ev));
         }
+        self.len += 1;
+    }
+
+    /// Delivery cycle of the earliest scheduled event in
+    /// `[now, now + horizon)` (stale events included — delivering a stale
+    /// event is a no-op, so treating it as a deadline is merely
+    /// conservative), or `None` when nothing is scheduled in that range.
+    /// Live wheel entries always sit within `(drain cycle, drain cycle +
+    /// capacity)`, so one bounded pass over the buckets visits every
+    /// delivery cycle at most once; the fast-forward caller passes its
+    /// current best deadline as the horizon, keeping the scan no longer
+    /// than the jump it could justify.
+    pub fn next_due_at(&self, now: u64, horizon: u64) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut best = self
+            .overflow
+            .peek()
+            .map(|&Reverse(ev)| ev.at.max(now))
+            .filter(|&at| at - now < horizon);
+        let span = (self.slots.capacity() as u64).min(horizon);
+        for dt in 0..span {
+            let at = now + dt;
+            if !self.slots.at(at).is_empty() {
+                best = Some(best.map_or(at, |b| b.min(at)));
+                break;
+            }
+        }
+        best
     }
 
     /// `true` when nothing is due at `now` — lets the drain stage skip the
@@ -165,6 +204,7 @@ impl EventWheel {
             due.push(ev);
         }
         debug_assert!(due.iter().all(|e| e.at <= now), "stale bucket entry");
+        self.len -= due.len();
         if due.len() > 1 {
             due.sort_unstable();
         }
@@ -184,6 +224,7 @@ impl EventWheel {
         }
         self.overflow.clear();
         self.due.clear();
+        self.len = 0;
     }
 }
 
@@ -198,7 +239,12 @@ impl Simulator {
         let due = self.events.take_due(self.now);
         for ev in &due {
             // The instruction may have been squashed (uid mismatch) or even
-            // re-fetched under the same seq; both are stale.
+            // re-fetched under the same seq; both are stale. Dropping a
+            // stale event only empties its wheel bucket — no thread,
+            // resource or statistic moves — so a stale-only drain leaves
+            // the cycle eligible for fast-forward (squash-heavy policies
+            // like FLUSH would otherwise have their idle spans shredded by
+            // the dead completions of every flushed window).
             let tid = ev.tid as usize;
             let valid = self.threads[tid]
                 .get(ev.seq)
@@ -207,6 +253,9 @@ impl Simulator {
             if !valid {
                 continue;
             }
+            // A delivered event changes machine state (stages, wakeups,
+            // pending counters, possibly a squash): the cycle is active.
+            self.idle.active = true;
             match ev.kind {
                 EventKind::Complete => self.complete_inst(tid, ev.seq),
                 EventKind::DetectL2 => self.detect_l2(tid, ev.seq),

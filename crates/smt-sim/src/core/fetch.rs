@@ -26,8 +26,13 @@ impl Simulator {
             }
             if !self.policy.fetch_gate(t, view) {
                 self.stats[tid].gated_cycles += 1;
+                self.idle.gated |= 1 << tid;
                 continue;
             }
+            // Past the gate the thread always does work: it either
+            // fetches a burst or at least accesses (and possibly stalls
+            // on) the I-cache — either way the cycle changed state.
+            self.idle.active = true;
             threads_used += 1;
             budget = self.fetch_thread(tid, budget);
         }
@@ -48,6 +53,15 @@ impl Simulator {
     }
 
     fn fetch_thread(&mut self, tid: usize, mut budget: u32) -> u32 {
+        // The caller guarantees `budget > 0` (checked before the gate) and
+        // at least one free fetch-queue slot (`thread_can_fetch` returns
+        // false on a full queue, so a full-queue thread never reaches the
+        // I-cache, consumes no fetch budget and is charged no stall).
+        debug_assert!(budget > 0, "fetch_thread called with no budget");
+        debug_assert!(
+            self.threads[tid].fetch_queue_len() < self.config.fetch_queue as usize,
+            "fetch_thread called with a full fetch queue"
+        );
         let t = ThreadId::new(tid);
         // One I-cache access per fetch block.
         let head_seq = self.threads[tid].next_fetch;
@@ -64,6 +78,12 @@ impl Simulator {
                 let th = &mut self.threads[tid];
                 th.icache_stall_until = ic.ready_at();
                 th.pending_inst_fill = Some(line);
+                // The missed access still occupied one fetch slot this
+                // cycle. `budget >= 1` here (asserted above), so the
+                // `saturating_sub` is defensive only — there is no
+                // off-by-one: a width-1 front end that misses spends its
+                // whole budget, and the boundary test in `core/tests.rs`
+                // pins both that and the full-queue early return.
                 return budget.saturating_sub(1);
             }
         }

@@ -10,6 +10,12 @@ use smt_isa::{InstClass, QueueKind, ThreadId};
 
 impl Simulator {
     pub(crate) fn issue(&mut self) {
+        // Any non-empty ready list makes the cycle active: even a
+        // stale-only list is drained below, which mutates the heap (the
+        // next cycle then starts from empty lists and can fast-forward).
+        if self.ready.iter().any(|r| !r.is_empty()) {
+            self.idle.active = true;
+        }
         let mut global_budget = self.config.decode_width; // issue width = 8
         for q in QueueKind::ALL {
             let mut unit_budget = self.config.units(q).min(global_budget);

@@ -28,6 +28,7 @@ pub(crate) mod debug;
 pub(crate) mod dispatch;
 pub(crate) mod events;
 pub(crate) mod fetch;
+pub(crate) mod forward;
 pub(crate) mod issue;
 pub(crate) mod profile;
 pub(crate) mod rings;
@@ -101,6 +102,38 @@ pub struct Simulator {
     /// `config.resource_totals()`, computed once — the configuration is
     /// immutable after construction and the view is refreshed every cycle.
     pub(crate) totals: PerResource<u32>,
+    /// What the last `step` observed: whether any stage changed machine
+    /// state, and which per-cycle statistics were charged to which thread.
+    /// The fast-forward path ([`forward`]) reads it to decide whether the
+    /// machine is skippable and to replay the skipped cycles' statistics.
+    pub(crate) idle: IdleTrack,
+}
+
+/// Per-cycle activity record, reset at the top of every [`Simulator::step`].
+///
+/// `active` means "this cycle changed machine state" (an event was
+/// delivered, or something committed, issued, dispatched, fetched, or at
+/// least touched the I-cache). The bit masks record which threads were
+/// charged a per-cycle statistic this cycle — exactly the statistics that
+/// keep accruing, unchanged, on every subsequent idle cycle, and therefore
+/// the ones the fast-forward replay multiplies out (thread ids fit in `u8`
+/// masks because `ThreadId::MAX_THREADS == 8`, enforced by
+/// [`SimConfig::validate`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct IdleTrack {
+    /// Any machine-state change this cycle.
+    pub active: bool,
+    /// Threads whose `gated_cycles` statistic was charged (fetchable but
+    /// refused by the policy's fetch gate).
+    pub gated: u8,
+    /// Threads whose `blocked_rob` statistic was charged at dispatch.
+    pub blocked_rob: u8,
+    /// Threads whose `blocked_iq` statistic was charged at dispatch.
+    pub blocked_iq: u8,
+    /// Threads whose `blocked_regs` statistic was charged at dispatch.
+    pub blocked_regs: u8,
+    /// Threads whose `blocked_policy` statistic was charged at dispatch.
+    pub blocked_policy: u8,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -178,6 +211,7 @@ impl Simulator {
             order_scratch: Vec::new(),
             mlp_scratch: vec![0; n],
             totals,
+            idle: IdleTrack::default(),
         }
     }
 
@@ -232,6 +266,7 @@ impl Simulator {
         for r in &mut self.ready {
             r.clear();
         }
+        self.idle = IdleTrack::default();
     }
 
     /// Current cycle.
@@ -308,8 +343,25 @@ impl Simulator {
         self.mem.reset_stats();
     }
 
-    /// Runs `n` cycles.
+    /// Runs `n` cycles, fast-forwarding through spans where every thread
+    /// is stalled (the `core/forward` module). Bit-identical to
+    /// [`Self::run_cycles_stepped`] — the golden determinism suite and the
+    /// stepped-vs-fast-forward property test pin this — but far faster on
+    /// memory-bound workloads, where most cycles are empty waits on L2/
+    /// memory fills.
     pub fn run_cycles(&mut self, n: u64) {
+        let end = self.now + n;
+        while self.now < end {
+            self.step();
+            self.fast_forward(end);
+        }
+    }
+
+    /// Reference implementation of [`Self::run_cycles`]: one [`Self::step`]
+    /// per cycle, never fast-forwarding. The equivalence tests run both
+    /// paths and require identical output; keep it around for debugging
+    /// suspected fast-forward divergence.
+    pub fn run_cycles_stepped(&mut self, n: u64) {
         for _ in 0..n {
             self.step();
         }
@@ -317,10 +369,14 @@ impl Simulator {
 
     /// Runs until every thread has committed at least `insts` instructions
     /// since the last [`Self::reset_stats`], or `max_cycles` elapse.
+    /// Fast-forwards like [`Self::run_cycles`]; commits only happen on
+    /// stepped cycles, so the stopping cycle is identical to the stepped
+    /// loop's.
     pub fn run_until_committed(&mut self, insts: u64, max_cycles: u64) {
         let limit = self.now + max_cycles;
         while self.now < limit && self.stats.iter().any(|s| s.committed < insts) {
             self.step();
+            self.fast_forward(limit);
         }
     }
 
@@ -372,6 +428,7 @@ impl Simulator {
     pub fn step(&mut self) {
         let mut view = std::mem::take(&mut self.cycle_view);
         let mut order = std::mem::take(&mut self.order_scratch);
+        self.idle = IdleTrack::default();
         self.fill_view(&mut view);
         self.policy.begin_cycle(&view);
         order.clear();

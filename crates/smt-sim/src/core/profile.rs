@@ -19,8 +19,12 @@ use std::time::{Duration, Instant};
 /// residue of the loop (MLP sampling, cycle bookkeeping).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StageProfile {
-    /// Cycles accumulated into this profile.
+    /// Cycles accumulated into this profile — stepped *and* skipped, so
+    /// `cycles` always equals simulated time.
     pub cycles: u64,
+    /// Cycles covered by fast-forward jumps instead of steps (a subset of
+    /// `cycles`; only [`Simulator::run_cycles_profiled`] produces them).
+    pub skipped: u64,
     /// View refresh + `begin_cycle` + `fetch_order`.
     pub policy: Duration,
     /// Event drain (timing wheel + wakeup scoreboard).
@@ -33,6 +37,8 @@ pub struct StageProfile {
     pub dispatch: Duration,
     /// Fetch stage.
     pub fetch: Duration,
+    /// Fast-forward: idle-deadline computation + policy/statistics replay.
+    pub forward: Duration,
     /// MLP sampling and loop bookkeeping.
     pub other: Duration,
 }
@@ -46,12 +52,13 @@ impl StageProfile {
             + self.issue
             + self.dispatch
             + self.fetch
+            + self.forward
             + self.other
     }
 
     /// The stages as `(name, share_of_total)` pairs, in pipeline order.
     /// Shares sum to ~1.0 (all zero when nothing was profiled).
-    pub fn shares(&self) -> [(&'static str, f64); 7] {
+    pub fn shares(&self) -> [(&'static str, f64); 8] {
         let total = self.total().as_secs_f64();
         let of = |d: Duration| {
             if total > 0.0 {
@@ -67,6 +74,7 @@ impl StageProfile {
             ("issue", of(self.issue)),
             ("dispatch", of(self.dispatch)),
             ("fetch", of(self.fetch)),
+            ("forward", of(self.forward)),
             ("other", of(self.other)),
         ]
     }
@@ -80,6 +88,7 @@ impl Simulator {
     pub fn step_profiled(&mut self, profile: &mut StageProfile) {
         let mut view = std::mem::take(&mut self.cycle_view);
         let mut order = std::mem::take(&mut self.order_scratch);
+        self.idle = super::IdleTrack::default();
         let t0 = Instant::now();
         self.fill_view(&mut view);
         self.policy.begin_cycle(&view);
@@ -114,5 +123,24 @@ impl Simulator {
         self.order_scratch = order;
         profile.other += t6.elapsed();
         profile.cycles += 1;
+    }
+
+    /// Profiled equivalent of [`Simulator::run_cycles`]: per-stage
+    /// attribution via [`Simulator::step_profiled`], with fast-forward
+    /// jumps timed into [`StageProfile::forward`] and the skipped cycles
+    /// counted in [`StageProfile::skipped`]. Simulation output is
+    /// bit-identical to `run_cycles`.
+    pub fn run_cycles_profiled(&mut self, n: u64, profile: &mut StageProfile) {
+        let end = self.now + n;
+        while self.now < end {
+            self.step_profiled(profile);
+            let before = self.now;
+            let t0 = Instant::now();
+            self.fast_forward(end);
+            profile.forward += t0.elapsed();
+            let jumped = self.now - before;
+            profile.cycles += jumped;
+            profile.skipped += jumped;
+        }
     }
 }

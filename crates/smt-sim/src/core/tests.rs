@@ -114,6 +114,172 @@ fn profiled_step_is_bit_identical_to_step() {
 }
 
 #[test]
+#[should_panic(expected = "invalid simulator configuration")]
+fn oversized_thread_count_is_rejected_at_construction() {
+    // A config mutated (or deserialized) past MAX_THREADS must be refused
+    // by the hard `SimConfig::validate` call in `Simulator::new` — in
+    // release builds too — before the `seq << 3 | tid` ready-key packing
+    // could silently corrupt issue ordering.
+    let mut cfg = SimConfig::baseline(4);
+    cfg.threads = smt_isa::ThreadId::MAX_THREADS + 1;
+    cfg.phys_regs = u32::MAX; // keep the register check out of the way
+    let profiles: Vec<_> = [
+        "gzip", "mcf", "art", "gcc", "twolf", "swim", "eon", "gap", "vpr",
+    ]
+    .iter()
+    .filter_map(|b| spec::profile(b))
+    .take(cfg.threads)
+    .collect();
+    let _ = Simulator::new(cfg, &profiles, RoundRobin::default(), 1);
+}
+
+/// Fills `tid`'s fetch queue to its configured capacity with real decoded
+/// instructions (mirroring what the fetch stage would do), so the
+/// full-queue fetch path can be exercised directly.
+fn fill_fetch_queue(s: &mut Simulator, tid: usize) {
+    let cap = s.config.fetch_queue as usize;
+    while s.threads[tid].fetch_queue_len() < cap {
+        let th = &mut s.threads[tid];
+        let seq = th.next_fetch;
+        let decoded = *th.inst_at_ref(seq);
+        let deps = crate::inst::resolve_deps(&decoded, seq);
+        s.uid_counter += 1;
+        let inst = crate::inst::DynInst::fetched(s.uid_counter, &decoded, s.now, 0);
+        let th = &mut s.threads[tid];
+        th.push_fetched(inst, deps);
+        th.pre_issue += 1;
+    }
+}
+
+#[test]
+fn full_fetch_queue_consumes_no_budget_and_no_icache_access() {
+    // The early return in the fetch stage must fire *before* the I-cache:
+    // a full-queue thread is skipped silently — no budget spent, no stall
+    // charged — and the whole fetch width stays available to the next
+    // thread in the order.
+    let mut s = sim(&["gzip", "gcc"], RoundRobin::default());
+    s.prewarm(50_000); // warm the I-cache so thread 1 hits
+    fill_fetch_queue(&mut s, 0);
+    let il1_before = s.mem.cache_stats().0.accesses;
+    let view = {
+        let mut v = crate::policy::CycleView::default();
+        s.fill_view(&mut v);
+        v
+    };
+    let order = [smt_isa::ThreadId::new(0), smt_isa::ThreadId::new(1)];
+    s.fetch(&order, &view);
+    assert_eq!(s.stats[0].fetched, 0, "full-queue thread must not fetch");
+    assert_eq!(
+        s.threads[0].icache_stall_until, 0,
+        "full-queue thread must not be charged an I-cache stall"
+    );
+    // Thread 1 got the whole width: one full block or until its fetch
+    // block ended, but definitely more than zero.
+    assert!(
+        s.stats[1].fetched > 0,
+        "thread 1 should use the freed budget"
+    );
+    let il1_after = s.mem.cache_stats().0.accesses;
+    assert_eq!(
+        il1_after - il1_before,
+        1,
+        "exactly one I-cache access (thread 1's block); none for thread 0"
+    );
+}
+
+#[test]
+fn icache_miss_consumes_exactly_one_fetch_slot() {
+    // Cold I-cache: the first access of a width-1 front end misses and
+    // must spend the single budget slot (`budget.saturating_sub(1)` is
+    // exact here, not an off-by-one), so the second thread is not even
+    // attempted. With width 2, the second thread gets the remaining slot
+    // and touches the I-cache.
+    let mut cfg = SimConfig::baseline(2);
+    cfg.fetch_width = 1;
+    let profiles = [
+        spec::profile("gzip").unwrap(),
+        spec::profile("gcc").unwrap(),
+    ];
+    let mut s = Simulator::new(cfg.clone(), &profiles, RoundRobin::default(), 3);
+    let mut view = crate::policy::CycleView::default();
+    s.fill_view(&mut view);
+    let order = [smt_isa::ThreadId::new(0), smt_isa::ThreadId::new(1)];
+    s.fetch(&order, &view);
+    let (il1, _, _) = s.mem.cache_stats();
+    assert_eq!(
+        il1.accesses, 1,
+        "width-1 miss leaves no budget for thread 1"
+    );
+    assert!(s.threads[0].icache_stall_until > s.now, "thread 0 stalled");
+    assert_eq!(
+        s.threads[1].icache_stall_until, 0,
+        "thread 1 never attempted"
+    );
+
+    cfg.fetch_width = 2;
+    let mut s = Simulator::new(cfg, &profiles, RoundRobin::default(), 3);
+    let mut view = crate::policy::CycleView::default();
+    s.fill_view(&mut view);
+    s.fetch(&order, &view);
+    let (il1, _, _) = s.mem.cache_stats();
+    assert_eq!(
+        il1.accesses, 2,
+        "width-2: the miss consumed one slot, thread 1 used the other"
+    );
+}
+
+#[test]
+fn fast_forward_skips_cycles_on_stalled_workloads() {
+    // A memory-bound mix under a stalling policy spends most cycles with
+    // every thread blocked; the fast-forward path must cover a large
+    // share of them (observable through the profiled runner's `skipped`
+    // counter) while producing the bit-identical result the equivalence
+    // tests pin.
+    let profiles = [spec::profile("mcf").unwrap(), spec::profile("art").unwrap()];
+    let mut s = Simulator::new(
+        SimConfig::baseline(2),
+        &profiles,
+        crate::policy::AnyPolicy::from(smt_policies::Stall),
+        11,
+    );
+    let mut prof = StageProfile::default();
+    s.run_cycles_profiled(60_000, &mut prof);
+    assert_eq!(
+        prof.cycles, 60_000,
+        "profiled cycles count stepped + skipped"
+    );
+    assert!(
+        prof.skipped > 10_000,
+        "expected a large skipped share on a MEM mix, got {}",
+        prof.skipped
+    );
+    assert_eq!(s.now(), 60_000);
+}
+
+#[test]
+fn fast_forward_respects_run_boundaries() {
+    // Jumps are capped at the requested run end: chunked runs land on
+    // exactly the same cycles as one long run.
+    let profiles = [spec::profile("mcf").unwrap()];
+    let build = || {
+        Simulator::new(
+            SimConfig::baseline(1),
+            &profiles,
+            crate::policy::AnyPolicy::from(smt_policies::Stall),
+            5,
+        )
+    };
+    let mut chunked = build();
+    for _ in 0..100 {
+        chunked.run_cycles(97); // awkward chunk size on purpose
+    }
+    let mut whole = build();
+    whole.run_cycles(9_700);
+    assert_eq!(chunked.now(), whole.now());
+    assert_eq!(chunked.result(), whole.result());
+}
+
+#[test]
 fn reset_reproduces_a_fresh_simulator_bit_for_bit() {
     let digest = |s: &Simulator| {
         let r = s.result();

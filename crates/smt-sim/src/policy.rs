@@ -145,6 +145,19 @@ impl Policy for AnyPolicy {
     }
 
     #[inline]
+    fn on_idle_cycles(&mut self, n: u64, view: &CycleView) -> u64 {
+        // Forwarded verbatim, including for `Boxed`: an external policy
+        // that has not overridden the hook inherits the safe default (0 —
+        // never fast-forward), so unknown per-cycle state is never skipped.
+        fan_out!(self, p => p.on_idle_cycles(n, view))
+    }
+
+    #[inline]
+    fn wants_fast_forward(&self) -> bool {
+        fan_out!(self, p => p.wants_fast_forward())
+    }
+
+    #[inline]
     fn wants_squash_inst(&self) -> bool {
         match self {
             // External policies may consume the notification without
