@@ -24,9 +24,10 @@
 //! reused [`SimSession`] sustains versus building a fresh simulator per
 //! run.
 
+use smt_experiments::scenarios::{policy_for_target, specs_for_family, ScenarioLengths};
 use smt_experiments::{PolicyKind, RunSpec, SimSession};
 use smt_sim::{SimConfig, Simulator, StageProfile};
-use smt_workloads::spec;
+use smt_workloads::{spec, FamilySpec, PolicyTarget, ScenarioFamily};
 use std::time::Instant;
 
 /// The 4-thread mix the `policies` Criterion bench and this snapshot share.
@@ -142,6 +143,41 @@ fn measure_sweep_setup(runs: usize) -> (f64, f64) {
         fresh_rate = fresh_rate.max(specs.len() as f64 / t0.elapsed().as_secs_f64());
     }
     (session_rate, fresh_rate)
+}
+
+/// Seed the scenario-family section always benches at, so the rates are
+/// comparable across snapshots.
+const SCENARIO_SEED: u64 = 42;
+
+/// Scenario-family sweep rates: one small family per profile (expected,
+/// stress, adversarial-DCRA), swept under DCRA through a reused
+/// [`SimSession`] queue, reported as simulated cycles per wall-clock
+/// second. Generated mixes exercise the `profile_overrides` path the
+/// registry benchmarks never touch, so their trajectory is tracked
+/// separately. Returns `(family_name, mean sim-cycles/s)` per profile.
+fn measure_scenario_families(mixes: usize, lengths: ScenarioLengths) -> Vec<(String, f64)> {
+    let policy = policy_for_target(PolicyTarget::Dcra);
+    [
+        FamilySpec::expected(mixes),
+        FamilySpec::stress(mixes),
+        FamilySpec::adversarial(PolicyTarget::Dcra, mixes),
+    ]
+    .iter()
+    .map(|spec| {
+        let family = ScenarioFamily::generate(spec, SCENARIO_SEED).expect("valid family spec");
+        let run_specs = specs_for_family(&family, &policy, lengths);
+        let mut session = SimSession::new();
+        let timed_cycles = (lengths.warmup_cycles + lengths.measure_cycles) * mixes as u64;
+        let t0 = Instant::now();
+        for run_spec in &run_specs {
+            let _ = session.run(run_spec);
+        }
+        (
+            spec.name.clone(),
+            timed_cycles as f64 / t0.elapsed().as_secs_f64(),
+        )
+    })
+    .collect()
 }
 
 /// Minimal strict JSON well-formedness check (the build has no JSON crate;
@@ -401,6 +437,25 @@ fn main() {
             .join(", ")
     );
 
+    let scenario_mixes = if smoke { 2 } else { 4 };
+    let scenario_lengths = if smoke {
+        ScenarioLengths {
+            prewarm_insts: 20_000,
+            warmup_cycles: 1_000,
+            measure_cycles: 5_000,
+        }
+    } else {
+        ScenarioLengths::measure()
+    };
+    let scenario = measure_scenario_families(scenario_mixes, scenario_lengths);
+    for (name, rate) in &scenario {
+        eprintln!("{:>8}: {rate:>12.0} cycles/s (scenario {name})", "family");
+    }
+    let scenario_fields: Vec<String> = scenario
+        .iter()
+        .map(|(name, rate)| format!("\"{name}\": {rate:.0}"))
+        .collect();
+
     let (host_cpu, host_governor) = host_fingerprint();
     eprintln!("{:>8}: {host_cpu} (governor {host_governor})", "host");
     let snapshot = format!(
@@ -411,9 +466,12 @@ fn main() {
          \"sweep_session_runs_per_sec\": {session_rate:.1}, \
          \"sweep_fresh_runs_per_sec\": {fresh_rate:.1}, \
          \"skipped_cycles_pct\": {skipped_pct:.1}, \
+         \"scenario_families\": {{ \"seed\": {SCENARIO_SEED}, \"mixes\": {scenario_mixes}, \
+         \"policy\": \"DCRA\", \"cycles_per_sec\": {{ {} }} }}, \
          \"stage_pct\": {{ {} }}, \
          \"cycles_per_sec\": {{ {} }}, \
          \"mem_cycles_per_sec\": {{ {} }} }}",
+        scenario_fields.join(", "),
         stage_fields.join(", "),
         fields.join(", "),
         mem_fields.join(", ")

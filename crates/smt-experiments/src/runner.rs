@@ -7,7 +7,7 @@ use smt_isa::{PerResource, ThreadId};
 use smt_policies as pol;
 use smt_sim::policy::AnyPolicy;
 use smt_sim::{SimConfig, SimResult, Simulator};
-use smt_workloads::{spec, BenchmarkProfile, Workload};
+use smt_workloads::{spec, BenchmarkProfile, ScenarioMix, Workload};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -118,6 +118,12 @@ pub struct RunSpec {
     pub warmup_cycles: u64,
     /// Measured cycles.
     pub measure_cycles: u64,
+    /// Explicit per-thread profiles, overriding the registry lookup of
+    /// `benches`. Set by [`RunSpec::for_mix`] so generated scenario mixes
+    /// — whose jittered/synthesized profiles exist nowhere in
+    /// [`smt_workloads::spec`] — run through the same machinery; `benches`
+    /// then only carries the display names.
+    pub profile_overrides: Option<Vec<BenchmarkProfile>>,
 }
 
 impl RunSpec {
@@ -134,6 +140,7 @@ impl RunSpec {
             prewarm_insts: 400_000,
             warmup_cycles: 30_000,
             measure_cycles: 250_000,
+            profile_overrides: None,
         }
     }
 
@@ -143,6 +150,17 @@ impl RunSpec {
         RunSpec::new(&names, policy)
     }
 
+    /// Builds a spec for a generated [`ScenarioMix`]: the mix's profiles
+    /// become the run's threads (bypassing the benchmark registry) and the
+    /// mix's derived seed replaces the default.
+    pub fn for_mix(mix: &ScenarioMix, policy: PolicyKind) -> Self {
+        let names: Vec<&str> = mix.benchmark_names();
+        let mut spec = RunSpec::new(&names, policy);
+        spec.seed = mix.seed;
+        spec.profile_overrides = Some(mix.profiles.clone());
+        spec
+    }
+
     /// Replaces the machine configuration (keeps `threads` consistent).
     pub fn with_config(mut self, mut config: SimConfig) -> Self {
         config.threads = self.benches.len();
@@ -150,11 +168,22 @@ impl RunSpec {
         self
     }
 
-    fn profiles(&self) -> Vec<&'static BenchmarkProfile> {
-        self.benches
-            .iter()
-            .map(|b| spec::profile(b).unwrap_or_else(|| panic!("unknown benchmark {b}")))
-            .collect()
+    fn profiles(&self) -> Vec<&BenchmarkProfile> {
+        match &self.profile_overrides {
+            Some(overrides) => {
+                assert_eq!(
+                    overrides.len(),
+                    self.benches.len(),
+                    "profile overrides must cover every thread"
+                );
+                overrides.iter().collect()
+            }
+            None => self
+                .benches
+                .iter()
+                .map(|b| spec::profile(b).unwrap_or_else(|| panic!("unknown benchmark {b}")))
+                .collect(),
+        }
     }
 }
 
@@ -320,13 +349,29 @@ impl Runner {
     where
         F: FnMut(usize, RunOutcome) + Send,
     {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        self.run_streaming_with_workers(specs, workers, sink);
+    }
+
+    /// [`Runner::run_streaming`] with an explicit worker count instead of
+    /// the host's available parallelism. Outcomes are identical for every
+    /// `workers >= 1` (each run is an isolated deterministic simulation;
+    /// only completion order varies) — the end-to-end suite pins this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero (with specs pending).
+    pub fn run_streaming_with_workers<F>(&self, specs: &[RunSpec], workers: usize, sink: F)
+    where
+        F: FnMut(usize, RunOutcome) + Send,
+    {
         if specs.is_empty() {
             return;
         }
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(specs.len());
+        assert!(workers > 0, "need at least one worker");
+        let workers = workers.min(specs.len());
         let next = AtomicUsize::new(0);
         let sink = Mutex::new(sink);
         std::thread::scope(|scope| {
@@ -350,6 +395,17 @@ impl Runner {
     pub fn run_all(&self, specs: &[RunSpec]) -> Vec<RunOutcome> {
         let mut slots: Vec<Option<RunOutcome>> = specs.iter().map(|_| None).collect();
         self.run_streaming(specs, |i, outcome| slots[i] = Some(outcome));
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("worker pool covered every spec"))
+            .collect()
+    }
+
+    /// [`Runner::run_all`] with an explicit worker count; results are in
+    /// spec order and independent of `workers`.
+    pub fn run_all_with_workers(&self, specs: &[RunSpec], workers: usize) -> Vec<RunOutcome> {
+        let mut slots: Vec<Option<RunOutcome>> = specs.iter().map(|_| None).collect();
+        self.run_streaming_with_workers(specs, workers, |i, outcome| slots[i] = Some(outcome));
         slots
             .into_iter()
             .map(|slot| slot.expect("worker pool covered every spec"))

@@ -114,6 +114,15 @@ impl SimConfig {
         self.phys_regs - reserved
     }
 
+    /// Cycles after issue at which a load that has missed the L2 is
+    /// *detected* and reported to the policy — the L2 hit latency. Loads
+    /// that resolve faster (L1 hits, L1-miss/L2-hit warm accesses) never
+    /// reach the STALL/FLUSH trigger; the adversarial scenario generator
+    /// in `smt-workloads` builds workloads around exactly this threshold.
+    pub fn l2_detect_delay(&self) -> u32 {
+        self.mem.l2.latency
+    }
+
     /// Total entries of each controlled resource, as seen by allocation
     /// policies (issue queues and the two rename pools).
     pub fn resource_totals(&self) -> PerResource<u32> {

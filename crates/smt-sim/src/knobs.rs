@@ -1,0 +1,50 @@
+//! Policy-timing knobs, re-exported for scenario generation.
+//!
+//! The adversarial scenario generator in `smt-workloads` builds workloads
+//! timed against specific policy heuristics — loads stalling just under
+//! the STALL/FLUSH trigger latency, phase flips paced at FLUSH++'s
+//! pressure window, FP bursts spaced past DCRA's activity window. That
+//! crate sits *below* this one in the dependency graph, so it cannot read
+//! these constants directly; it mirrors their values, and the
+//! `knob_mirrors_stay_in_sync` test here (this crate can see both sides)
+//! fails the build the moment either side drifts.
+
+use dcra::ActivityTracker;
+use smt_policies::FlushPlusPlus;
+
+/// Cycles DCRA's per-thread FP activity counter decays from after each FP
+/// allocation ([`ActivityTracker`]'s reset value): the window within which
+/// a thread is considered FP-active.
+pub const DCRA_ACTIVITY_WINDOW: u32 = ActivityTracker::DEFAULT_INIT;
+
+/// Cycle period at which FLUSH++ re-evaluates its memory-pressure
+/// classification ([`FlushPlusPlus::WINDOW`]).
+pub const FLUSHPP_PRESSURE_WINDOW: u64 = FlushPlusPlus::WINDOW;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+
+    #[test]
+    fn knob_mirrors_stay_in_sync() {
+        // smt-workloads mirrors these values for adversarial generation;
+        // this is the only place that can compare both sides.
+        assert_eq!(
+            smt_workloads::family::DCRA_ACTIVITY_WINDOW,
+            DCRA_ACTIVITY_WINDOW
+        );
+        assert_eq!(
+            smt_workloads::family::FLUSHPP_PRESSURE_WINDOW,
+            FLUSHPP_PRESSURE_WINDOW
+        );
+        assert_eq!(
+            smt_workloads::family::L2_DETECT_DELAY,
+            SimConfig::baseline(2).l2_detect_delay()
+        );
+        assert_eq!(
+            smt_workloads::family::MAX_FAMILY_THREADS,
+            smt_isa::ThreadId::MAX_THREADS
+        );
+    }
+}

@@ -46,6 +46,7 @@
 mod config;
 mod core;
 mod inst;
+pub mod knobs;
 pub mod policy;
 mod stats;
 mod thread;

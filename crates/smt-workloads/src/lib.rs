@@ -46,12 +46,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod family;
 mod generator;
+pub mod manifest;
 mod profile;
 pub mod spec;
 mod workload;
 
+pub use family::{
+    generate_mix, FamilySpec, PolicyTarget, ScenarioFamily, ScenarioMix, ScenarioProfile,
+};
 pub use generator::TraceGenerator;
+pub use manifest::{FamilyManifest, MixManifest};
 pub use profile::{
     BenchmarkProfile, BenchmarkProfileBuilder, BranchBehavior, InstMix, MemBehavior, PhaseBehavior,
     ProfileError, Suite,

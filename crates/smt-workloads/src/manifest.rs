@@ -1,0 +1,343 @@
+//! Family manifests: a compact, byte-stable description of every mix a
+//! [`ScenarioFamily`] generates, including a fingerprint of each thread's
+//! actual instruction trace.
+//!
+//! The manifest is the determinism artifact: CI regenerates the expected
+//! family twice with the same seed and diffs the JSON byte-for-byte, and
+//! the thread-count-invariance test checks that
+//! [`FamilyManifest::generate_with_workers`] emits identical bytes for any
+//! worker count. Fingerprints are FNV-1a over a prefix of each thread's
+//! generated stream (pc, class, dependences, addresses, branch outcomes),
+//! so any behavioural drift in the trace generator — not just in the mix
+//! parameters — shows up as a manifest diff.
+
+use crate::family::{generate_mix, FamilySpec, ScenarioFamily, ScenarioMix};
+use crate::generator::TraceGenerator;
+use smt_isa::InstClass;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Instructions hashed per thread when fingerprinting a mix. Long enough
+/// to cover several phase flips of every profile shape, short enough to
+/// keep manifest generation cheap.
+pub const FINGERPRINT_INSTS: usize = 2048;
+
+/// Manifest entry for one generated mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixManifest {
+    /// The mix's stable id (`ScenarioMix::id`).
+    pub id: String,
+    /// Index within the family.
+    pub index: usize,
+    /// Trace-generator seed of the mix.
+    pub seed: u64,
+    /// Per-thread benchmark/profile names.
+    pub benchmarks: Vec<String>,
+    /// Per-thread FNV-1a fingerprint of the first [`FINGERPRINT_INSTS`]
+    /// generated instructions.
+    pub trace_fingerprints: Vec<u64>,
+}
+
+impl MixManifest {
+    /// Builds the manifest entry for `mix`, generating and hashing each
+    /// thread's trace prefix.
+    pub fn from_mix(mix: &ScenarioMix) -> MixManifest {
+        let trace_fingerprints = mix
+            .profiles
+            .iter()
+            .enumerate()
+            .map(|(slot, profile)| {
+                let mut generator = TraceGenerator::new(profile, mix.seed, slot as u64);
+                let mut hash = Fnv::new();
+                for _ in 0..FINGERPRINT_INSTS {
+                    let inst = generator.next_inst();
+                    hash.write_u64(inst.pc);
+                    hash.write_u64(u64::from(class_code(inst.class)));
+                    for dep in inst.deps() {
+                        hash.write_u64(u64::from(dep.unwrap_or(0)));
+                    }
+                    if let Some(mem) = inst.mem {
+                        hash.write_u64(mem.addr);
+                        hash.write_u64(u64::from(mem.size));
+                    }
+                    if let Some(branch) = inst.branch {
+                        hash.write_u64(u64::from(branch.taken));
+                        hash.write_u64(branch.target);
+                    }
+                }
+                hash.finish()
+            })
+            .collect();
+        MixManifest {
+            id: mix.id.clone(),
+            index: mix.index,
+            seed: mix.seed,
+            benchmarks: mix.profiles.iter().map(|p| p.name.clone()).collect(),
+            trace_fingerprints,
+        }
+    }
+}
+
+/// The manifest of a whole family: header plus one entry per mix, in
+/// index order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyManifest {
+    /// Family name from the spec.
+    pub family: String,
+    /// Profile tag (`expected`, `stress`, `adversarial-<POLICY>`).
+    pub tag: String,
+    /// Family seed.
+    pub seed: u64,
+    /// One entry per mix, index order.
+    pub mixes: Vec<MixManifest>,
+}
+
+impl FamilyManifest {
+    /// Manifests an already-generated family.
+    pub fn from_family(family: &ScenarioFamily) -> FamilyManifest {
+        FamilyManifest {
+            family: family.spec().name.clone(),
+            tag: family.spec().profile.tag(),
+            seed: family.seed(),
+            mixes: family.mixes().iter().map(MixManifest::from_mix).collect(),
+        }
+    }
+
+    /// Generates the family described by `spec` from `seed` and manifests
+    /// it in one pass (single-threaded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FamilySpec::validate`] failures.
+    pub fn generate(spec: &FamilySpec, seed: u64) -> Result<FamilyManifest, String> {
+        let family = ScenarioFamily::generate(spec, seed)?;
+        Ok(FamilyManifest::from_family(&family))
+    }
+
+    /// Like [`FamilyManifest::generate`], but fans the per-mix work out
+    /// over `workers` threads through an index work queue. Because each
+    /// mix's seed depends only on `(seed, tag, index)`, the result — down
+    /// to the JSON bytes — is identical for every worker count; the
+    /// end-to-end suite pins this.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FamilySpec::validate`] failures; rejects `workers == 0`.
+    pub fn generate_with_workers(
+        spec: &FamilySpec,
+        seed: u64,
+        workers: usize,
+    ) -> Result<FamilyManifest, String> {
+        if workers == 0 {
+            return Err("need at least one worker".into());
+        }
+        spec.validate()?;
+        let slots: Mutex<Vec<Option<MixManifest>>> = Mutex::new(vec![None; spec.mixes]);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(spec.mixes) {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= spec.mixes {
+                        break;
+                    }
+                    let entry = MixManifest::from_mix(&generate_mix(spec, seed, index));
+                    slots.lock().expect("manifest sink poisoned")[index] = Some(entry);
+                });
+            }
+        });
+        let mixes = slots
+            .into_inner()
+            .expect("manifest sink poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every index processed"))
+            .collect();
+        Ok(FamilyManifest {
+            family: spec.name.clone(),
+            tag: spec.profile.tag(),
+            seed,
+            mixes,
+        })
+    }
+
+    /// One FNV-1a hash over the whole manifest (header and every per-thread
+    /// fingerprint) — a single number to compare or log.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = Fnv::new();
+        hash.write_str(&self.family);
+        hash.write_str(&self.tag);
+        hash.write_u64(self.seed);
+        for mix in &self.mixes {
+            hash.write_str(&mix.id);
+            hash.write_u64(mix.seed);
+            for name in &mix.benchmarks {
+                hash.write_str(name);
+            }
+            for fp in &mix.trace_fingerprints {
+                hash.write_u64(*fp);
+            }
+        }
+        hash.finish()
+    }
+
+    /// Serialises the manifest to a stable, human-diffable JSON document.
+    /// Key order, spacing and number formatting are fixed, so equal
+    /// manifests produce byte-identical strings (what CI diffs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.mixes.len() * 256);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"family\": {},\n", json_str(&self.family)));
+        out.push_str(&format!("  \"profile\": {},\n", json_str(&self.tag)));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!(
+            "  \"fingerprint\": \"{:016x}\",\n",
+            self.fingerprint()
+        ));
+        out.push_str("  \"mixes\": [\n");
+        for (i, mix) in self.mixes.iter().enumerate() {
+            out.push_str("    { ");
+            out.push_str(&format!("\"id\": {}, ", json_str(&mix.id)));
+            out.push_str(&format!("\"index\": {}, ", mix.index));
+            out.push_str(&format!("\"seed\": {}, ", mix.seed));
+            out.push_str("\"benchmarks\": [");
+            for (j, name) in mix.benchmarks.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_str(name));
+            }
+            out.push_str("], \"trace_fingerprints\": [");
+            for (j, fp) in mix.trace_fingerprints.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{fp:016x}\""));
+            }
+            out.push_str("] }");
+            if i + 1 < self.mixes.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with the minimal escaping our controlled names need.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Stable discriminant for hashing an [`InstClass`] (independent of enum
+/// layout, so fingerprints survive reorderings of the declaration).
+fn class_code(class: InstClass) -> u8 {
+    match class {
+        InstClass::IntAlu => 0,
+        InstClass::IntMul => 1,
+        InstClass::FpAlu => 2,
+        InstClass::FpMul => 3,
+        InstClass::FpDiv => 4,
+        InstClass::Load => 5,
+        InstClass::Store => 6,
+        InstClass::Branch => 7,
+    }
+}
+
+/// Minimal FNV-1a accumulator (the workspace's standard trick for stable,
+/// dependency-free fingerprints).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        for b in s.as_bytes() {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Length terminator so "ab"+"c" != "a"+"bc".
+        self.write_u64(s.len() as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::PolicyTarget;
+
+    #[test]
+    fn manifest_is_reproducible() {
+        let spec = FamilySpec::expected(6);
+        let a = FamilyManifest::generate(&spec, 42).unwrap();
+        let b = FamilyManifest::generate(&spec, 42).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_bytes() {
+        let spec = FamilySpec::adversarial(PolicyTarget::Flush, 5);
+        let serial = FamilyManifest::generate(&spec, 9).unwrap();
+        for workers in [1, 2, 7] {
+            let parallel = FamilyManifest::generate_with_workers(&spec, 9, workers).unwrap();
+            assert_eq!(serial.to_json(), parallel.to_json(), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn different_seeds_move_the_fingerprint() {
+        let spec = FamilySpec::stress(4);
+        let a = FamilyManifest::generate(&spec, 1).unwrap();
+        let b = FamilyManifest::generate(&spec, 2).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn json_shape_is_sane() {
+        let spec = FamilySpec::expected(2);
+        let m = FamilyManifest::generate(&spec, 3).unwrap();
+        let json = m.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"family\": \"expected\""));
+        assert!(json.contains("\"mixes\": ["));
+        assert_eq!(json.matches("\"id\":").count(), 2);
+    }
+
+    #[test]
+    fn zero_workers_is_rejected() {
+        let spec = FamilySpec::expected(2);
+        assert!(FamilyManifest::generate_with_workers(&spec, 1, 0).is_err());
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_chars() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\u000ay\"");
+    }
+}

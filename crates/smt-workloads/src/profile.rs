@@ -281,6 +281,22 @@ impl BenchmarkProfile {
         frac(self.branches.random_taken_rate, "random_taken_rate")?;
         frac(self.branches.call_frac, "call_frac")?;
         frac(self.fp_load_frac, "fp_load_frac")?;
+        for (weight, class) in [
+            (self.mix.load, "load"),
+            (self.mix.store, "store"),
+            (self.mix.branch, "branch"),
+            (self.mix.int_alu, "int_alu"),
+            (self.mix.int_mul, "int_mul"),
+            (self.mix.fp_alu, "fp_alu"),
+            (self.mix.fp_mul, "fp_mul"),
+            (self.mix.fp_div, "fp_div"),
+        ] {
+            if !weight.is_finite() || weight < 0.0 {
+                return Err(ProfileError(format!(
+                    "mix weight {class} = {weight} must be finite and non-negative"
+                )));
+            }
+        }
         if self.mix.total() <= 0.0 {
             return Err(ProfileError("instruction mix has zero total weight".into()));
         }

@@ -134,3 +134,46 @@ fn mispredicted_branches_do_not_block_fetch() {
     );
     assert!(r.threads[0].fetched >= r.threads[0].committed + r.threads[0].squashed);
 }
+
+/// Regression: `TraceGenerator::decorrelated` must actually change the
+/// instruction stream for any non-zero salt — an early version reseeded
+/// with the same state and returned a bit-identical clone, which silently
+/// defeated the warm-up decorrelation above.
+#[test]
+fn decorrelated_stream_diverges_from_parent() {
+    for bench in ["gzip", "mcf", "swim"] {
+        let p = spec::profile(bench).unwrap();
+        let parent = TraceGenerator::new(p, 42, 0);
+        for salt in [1u64, 2, 77] {
+            let mut twin = parent.decorrelated(salt);
+            let mut orig = parent.clone();
+            let diverged = (0..512).any(|_| orig.next_inst() != twin.next_inst());
+            assert!(
+                diverged,
+                "{bench}: salt {salt} left the stream identical to its parent"
+            );
+        }
+    }
+}
+
+/// Regression: `BenchmarkProfile::validate` used to only check the mix
+/// *total*, so a negative weight balanced by a larger positive one (or a
+/// NaN, which poisons the sampling CDF) slipped through to the generator.
+#[test]
+fn profile_validation_rejects_out_of_range_mix_weights() {
+    let base = spec::profile("gzip").unwrap();
+    let mut negative = base.clone();
+    negative.mix.load = -0.2;
+    negative.mix.int_alu += 0.2; // total still positive
+    assert!(
+        negative.validate().is_err(),
+        "negative load weight must be rejected even when the total is positive"
+    );
+    let mut nan = base.clone();
+    nan.mix.fp_alu = f64::NAN;
+    assert!(nan.validate().is_err(), "NaN weight must be rejected");
+    let mut inf = base.clone();
+    inf.mix.branch = f64::INFINITY;
+    assert!(inf.validate().is_err(), "infinite weight must be rejected");
+    assert!(base.validate().is_ok(), "baseline stays valid");
+}

@@ -1,0 +1,222 @@
+//! Determinism and invariant suite for the seeded scenario-family layer.
+//!
+//! Pins the contract the generator advertises: same seed → bit-identical
+//! mixes, manifests and instruction traces; different seeds → divergence;
+//! every generated mix satisfies the profile and machine invariants; all
+//! nine policies complete full-family sweeps with finite metrics; and each
+//! adversarial family actually hurts its target policy relative to the
+//! expected family.
+
+use dcra_smt::experiments::scenarios::{
+    policy_for_target, specs_for_family, sweep_family, ScenarioLengths,
+};
+use dcra_smt::experiments::Runner;
+use dcra_smt::sim::SimConfig;
+use dcra_smt::workloads::{
+    FamilyManifest, FamilySpec, PolicyTarget, ScenarioFamily, ScenarioProfile, TraceGenerator,
+};
+use proptest::prelude::*;
+
+/// The three family shapes under test, at a given mix count.
+fn all_specs(mixes: usize) -> Vec<FamilySpec> {
+    let mut specs = vec![FamilySpec::expected(mixes), FamilySpec::stress(mixes)];
+    specs.extend(PolicyTarget::ALL.map(|t| FamilySpec::adversarial(t, mixes)));
+    specs
+}
+
+#[test]
+fn same_seed_regenerates_bit_identical_traces() {
+    for spec in all_specs(4) {
+        let a = ScenarioFamily::generate(&spec, 42).unwrap();
+        let b = ScenarioFamily::generate(&spec, 42).unwrap();
+        assert_eq!(a, b, "{}: family must regenerate identically", spec.name);
+        // Beyond parameter equality: the actual instruction streams the
+        // simulator would consume must match inst-for-inst.
+        for (mix_a, mix_b) in a.mixes().iter().zip(b.mixes()) {
+            for (slot, (pa, pb)) in mix_a.profiles.iter().zip(&mix_b.profiles).enumerate() {
+                let mut ga = TraceGenerator::new(pa, mix_a.seed, slot as u64);
+                let mut gb = TraceGenerator::new(pb, mix_b.seed, slot as u64);
+                for n in 0..4096 {
+                    assert_eq!(
+                        ga.next_inst(),
+                        gb.next_inst(),
+                        "{}: thread {slot} diverged at instruction {n}",
+                        mix_a.id
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn same_seed_regenerates_identical_manifest_json() {
+    for spec in [
+        FamilySpec::expected(8),
+        FamilySpec::adversarial(PolicyTarget::Dcra, 8),
+    ] {
+        let a = FamilyManifest::generate(&spec, 1234).unwrap();
+        let b = FamilyManifest::generate(&spec, 1234).unwrap();
+        assert_eq!(a.to_json(), b.to_json(), "{}", spec.name);
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    for spec in all_specs(4) {
+        let a = FamilyManifest::generate(&spec, 1).unwrap();
+        let b = FamilyManifest::generate(&spec, 2).unwrap();
+        assert_ne!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "{}: seed must move the family",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn families_produce_at_least_50_distinct_mixes() {
+    for spec in [
+        FamilySpec::expected(60),
+        FamilySpec::stress(60),
+        FamilySpec::adversarial(PolicyTarget::Flush, 60),
+    ] {
+        let manifest = FamilyManifest::generate(&spec, 7).unwrap();
+        let mut distinct: Vec<&Vec<u64>> = manifest
+            .mixes
+            .iter()
+            .map(|m| &m.trace_fingerprints)
+            .collect();
+        distinct.sort();
+        distinct.dedup();
+        assert!(
+            distinct.len() >= 50,
+            "{}: only {} distinct mixes in 60",
+            spec.name,
+            distinct.len()
+        );
+    }
+}
+
+proptest! {
+    /// Bounds invariants over arbitrary seeds and sizes: every generated
+    /// profile validates, dependence distances stay sane, and every mix's
+    /// thread count builds a machine config that passes the simulator's
+    /// own hard validation.
+    #[test]
+    fn generated_mixes_respect_invariants(
+        seed in 0u64..10_000,
+        mixes in 1usize..6,
+        which in 0usize..11,
+    ) {
+        let spec = &all_specs(mixes)[which];
+        let family = ScenarioFamily::generate(spec, seed).unwrap();
+        prop_assert_eq!(family.mixes().len(), mixes);
+        for mix in family.mixes() {
+            prop_assert!(
+                (spec.min_threads..=spec.max_threads).contains(&mix.threads())
+            );
+            prop_assert!(SimConfig::baseline(mix.threads()).validate().is_ok());
+            for p in &mix.profiles {
+                prop_assert!(p.validate().is_ok(), "{}: {}", mix.id, p.name);
+                prop_assert!(p.mix.total() > 0.0);
+                prop_assert!(p.dep_mean >= 1.0);
+                prop_assert!(p.mem.warm_frac + p.mem.cold_frac <= 1.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn all_nine_policies_sweep_all_families_with_finite_metrics() {
+    let runner = Runner::new();
+    let lengths = ScenarioLengths {
+        prewarm_insts: 40_000,
+        warmup_cycles: 3_000,
+        measure_cycles: 20_000,
+    };
+    let expected = ScenarioFamily::generate(&FamilySpec::expected(2), 42).unwrap();
+    let stress = ScenarioFamily::generate(&FamilySpec::stress(2), 42).unwrap();
+    for target in PolicyTarget::ALL {
+        let policy = policy_for_target(target);
+        let adversarial =
+            ScenarioFamily::generate(&FamilySpec::adversarial(target, 2), 42).unwrap();
+        for family in [&expected, &stress, &adversarial] {
+            let summary = sweep_family(&runner, family, &policy, lengths);
+            assert!(
+                summary.all_finite(),
+                "{} on {}: non-finite metric",
+                policy.name(),
+                family.spec().name
+            );
+            for mix in &summary.mixes {
+                assert!(
+                    mix.throughput > 0.0,
+                    "{} on {}: zero progress",
+                    policy.name(),
+                    mix.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_family_degrades_its_target_policy() {
+    // The acceptance claim: a policy's dedicated antagonist family yields
+    // measurably lower IPC than the expected family under that same
+    // policy. Pinned at 2 threads so the comparison is like-for-like.
+    let runner = Runner::new();
+    let lengths = ScenarioLengths::smoke();
+    let two_threads = |mut spec: FamilySpec| {
+        spec.min_threads = 2;
+        spec.max_threads = 2;
+        spec
+    };
+    for target in [
+        PolicyTarget::Flush,
+        PolicyTarget::Icount,
+        PolicyTarget::Dcra,
+    ] {
+        let policy = policy_for_target(target);
+        let expected = ScenarioFamily::generate(&two_threads(FamilySpec::expected(3)), 42).unwrap();
+        let adversarial =
+            ScenarioFamily::generate(&two_threads(FamilySpec::adversarial(target, 3)), 42).unwrap();
+        let base = sweep_family(&runner, &expected, &policy, lengths).mean_throughput();
+        let adv = sweep_family(&runner, &adversarial, &policy, lengths).mean_throughput();
+        assert!(
+            adv < base * 0.9,
+            "{}: adversarial family ({adv:.3} IPC) must degrade the expected \
+             family ({base:.3} IPC) by more than 10%",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn specs_for_family_preserve_mix_order_and_threads() {
+    let family = ScenarioFamily::generate(&FamilySpec::stress(5), 3).unwrap();
+    let specs = specs_for_family(
+        &family,
+        &policy_for_target(PolicyTarget::Icount),
+        ScenarioLengths::smoke(),
+    );
+    assert_eq!(specs.len(), 5);
+    for (spec, mix) in specs.iter().zip(family.mixes()) {
+        assert_eq!(spec.benches.len(), mix.threads());
+        assert_eq!(spec.seed, mix.seed);
+    }
+}
+
+#[test]
+fn scenario_profile_tags_are_stable() {
+    // Manifest ids and CI paths key off these strings; a rename is a
+    // breaking change and must be deliberate.
+    assert_eq!(ScenarioProfile::Expected.tag(), "expected");
+    assert_eq!(ScenarioProfile::Stress.tag(), "stress");
+    assert_eq!(
+        ScenarioProfile::Adversarial(PolicyTarget::FlushPlusPlus).tag(),
+        "adversarial-FLUSH++"
+    );
+}
