@@ -51,7 +51,7 @@ fn bench_fig4(c: &mut Criterion) {
                 s.prewarm_insts = 20_000;
                 s.warmup_cycles = 1_000;
                 s.measure_cycles = 5_000;
-                out.push(runner.run(&s).throughput());
+                out.push(runner.run(&s).expect("known bench").throughput());
             }
             black_box(out)
         });
@@ -122,7 +122,7 @@ fn bench_extra(c: &mut Criterion) {
                 s.prewarm_insts = 20_000;
                 s.warmup_cycles = 1_000;
                 s.measure_cycles = 5_000;
-                let o = runner.run(&s);
+                let o = runner.run(&s).expect("known bench");
                 out.push((
                     o.result.total_fetched() as f64 / o.result.total_committed().max(1) as f64,
                     smt_metrics::workload_mlp(&o.result),

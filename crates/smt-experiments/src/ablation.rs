@@ -10,6 +10,7 @@
 //! * the **degenerate-case detector** of [`dcra::DcraDc`] (the paper's
 //!   future work).
 
+use crate::fault::RunError;
 use crate::runner::{PolicyKind, RunSpec, Runner};
 use crate::tables::{f3, TextTable};
 use dcra::{DcraConfig, DcraDc, DegenerateConfig, SharingConfig, SharingFactor};
@@ -101,47 +102,46 @@ pub struct AblationRow {
 }
 
 /// Runs every variant over the ablation workload set.
-pub fn run(runner: &Runner, measure_cycles: u64) -> Vec<AblationRow> {
+pub fn run(runner: &Runner, measure_cycles: u64) -> Result<Vec<AblationRow>, RunError> {
     let workloads = ablation_workloads();
     let lengths = {
         let mut s = RunSpec::new(&["gzip"], PolicyKind::Icount);
         s.measure_cycles = measure_cycles;
         s
     };
-    variants()
-        .into_iter()
-        .map(|variant| {
-            let mut tput = 0.0;
-            let mut hm = 0.0;
-            for w in &workloads {
-                let profiles: Vec<_> = w
-                    .benchmarks
-                    .iter()
-                    .map(|b| spec::profile(b).expect("table4 benchmark"))
-                    .collect();
-                let mut sim = Simulator::new(
-                    smt_sim::SimConfig::baseline(w.threads()),
-                    &profiles,
-                    (variant.build)(),
-                    42,
-                );
-                sim.prewarm(400_000);
-                sim.run_cycles(30_000);
-                sim.reset_stats();
-                sim.run_cycles(measure_cycles);
-                let r = sim.result();
-                let singles = runner.single_ipcs(w, sim.config(), &lengths);
-                tput += r.throughput();
-                hm += hmean(&r.ipcs(), &singles);
-            }
-            let n = workloads.len() as f64;
-            AblationRow {
-                label: variant.label,
-                throughput: tput / n,
-                hmean: hm / n,
-            }
-        })
-        .collect()
+    let mut rows = Vec::new();
+    for variant in variants() {
+        let mut tput = 0.0;
+        let mut hm = 0.0;
+        for w in &workloads {
+            let profiles: Vec<_> = w
+                .benchmarks
+                .iter()
+                .map(|b| spec::profile(b).expect("table4 benchmark"))
+                .collect();
+            let mut sim = Simulator::new(
+                smt_sim::SimConfig::baseline(w.threads()),
+                &profiles,
+                (variant.build)(),
+                42,
+            );
+            sim.prewarm(400_000);
+            sim.run_cycles(30_000);
+            sim.reset_stats();
+            sim.run_cycles(measure_cycles);
+            let r = sim.result();
+            let singles = runner.single_ipcs(w, sim.config(), &lengths)?;
+            tput += r.throughput();
+            hm += hmean(&r.ipcs(), &singles);
+        }
+        let n = workloads.len() as f64;
+        rows.push(AblationRow {
+            label: variant.label,
+            throughput: tput / n,
+            hmean: hm / n,
+        });
+    }
+    Ok(rows)
 }
 
 /// Formats the ablation table.

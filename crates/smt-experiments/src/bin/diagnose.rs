@@ -10,8 +10,10 @@ use smt_experiments::{PolicyKind, RunSpec, Runner};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (policy, benches): (PolicyKind, Vec<&str>) = if args.len() >= 2 {
-        let p =
-            PolicyKind::from_name(&args[0]).unwrap_or_else(|| panic!("unknown policy {}", args[0]));
+        let p = PolicyKind::from_name(&args[0]).unwrap_or_else(|| {
+            eprintln!("unknown policy `{}`", args[0]);
+            std::process::exit(2);
+        });
         (p, args[1..].iter().map(|s| s.as_str()).collect())
     } else {
         (PolicyKind::dcra_for_latency(300), vec!["gzip", "mcf"])
@@ -19,7 +21,10 @@ fn main() {
 
     let runner = Runner::new();
     let spec = RunSpec::new(&benches, policy);
-    let out = runner.run(&spec);
+    let out = runner.run(&spec).unwrap_or_else(|e| {
+        eprintln!("diagnostic run failed: {e}");
+        std::process::exit(1);
+    });
     println!(
         "{} on {}: throughput {:.3} IPC over {} cycles",
         spec.policy.name(),

@@ -2,7 +2,10 @@
 use smt_experiments::{fig5, Runner};
 fn main() {
     let runner = Runner::new();
-    let result = fig5::run(&runner);
+    let result = fig5::run(&runner).unwrap_or_else(|e| {
+        eprintln!("figure 5 sweep failed: {e}");
+        std::process::exit(1);
+    });
     println!("Figure 5(a) — IPC throughput per workload class\n");
     println!("{}", fig5::report_throughput(&result));
     println!("\nFigure 5(b) — Hmean improvement of DCRA\n");

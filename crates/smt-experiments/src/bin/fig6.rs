@@ -2,7 +2,10 @@
 use smt_experiments::{fig6, Runner};
 fn main() {
     let runner = Runner::new();
-    let result = fig6::run(&runner);
+    let result = fig6::run(&runner).unwrap_or_else(|e| {
+        eprintln!("figure 6 sweep failed: {e}");
+        std::process::exit(1);
+    });
     println!("Figure 6 — Hmean improvement of DCRA vs register pool size\n");
     println!("{}", fig6::report(&result));
 }

@@ -2,7 +2,10 @@
 use smt_experiments::{fig7, Runner};
 fn main() {
     let runner = Runner::new();
-    let result = fig7::run(&runner);
+    let result = fig7::run(&runner).unwrap_or_else(|e| {
+        eprintln!("figure 7 sweep failed: {e}");
+        std::process::exit(1);
+    });
     println!("Figure 7 — Hmean improvement of DCRA vs memory latency\n");
     println!("{}", fig7::report(&result));
 }

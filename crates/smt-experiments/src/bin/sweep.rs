@@ -19,7 +19,10 @@ fn main() {
 
     let runner = Runner::new();
     let config = SimConfig::baseline(2);
-    let sweep = sweep_policy(&runner, &policy, &config, &sweep_lengths());
+    let sweep = sweep_policy(&runner, &policy, &config, &sweep_lengths()).unwrap_or_else(|e| {
+        eprintln!("policy sweep failed: {e}");
+        std::process::exit(1);
+    });
 
     println!(
         "Policy sweep — {} over the 36 Table-4 workloads\n",

@@ -2,6 +2,7 @@
 //! relative to DCRA, and DCRA's memory-parallelism (overlapping L2 miss)
 //! advantage.
 
+use crate::fault::RunError;
 use crate::runner::{PolicyKind, Runner};
 use crate::sweep::{sweep_lengths, sweep_policy, PolicySweep};
 use crate::tables::{f2, pct, TextTable};
@@ -50,18 +51,18 @@ impl ExtraResult {
 }
 
 /// Runs FLUSH++ and DCRA over the full workload set.
-pub fn run(runner: &Runner) -> ExtraResult {
+pub fn run(runner: &Runner) -> Result<ExtraResult, RunError> {
     let config = SimConfig::baseline(2);
     let lengths = sweep_lengths();
-    ExtraResult {
-        flushpp: sweep_policy(runner, &PolicyKind::FlushPlusPlus, &config, &lengths),
+    Ok(ExtraResult {
+        flushpp: sweep_policy(runner, &PolicyKind::FlushPlusPlus, &config, &lengths)?,
         dcra: sweep_policy(
             runner,
             &PolicyKind::dcra_for_latency(300),
             &config,
             &lengths,
-        ),
-    }
+        )?,
+    })
 }
 
 /// Formats both in-text measurements.

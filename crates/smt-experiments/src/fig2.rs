@@ -6,6 +6,7 @@
 //! (12.5%..100%). The result motivates DCRA: threads without misses reach
 //! ~90% of full speed with only ~37.5% of the resources.
 
+use crate::fault::RunError;
 use crate::runner::{PolicyKind, RunSpec, Runner};
 use crate::tables::TextTable;
 use smt_isa::{PerResource, ResourceKind};
@@ -54,7 +55,9 @@ fn benches_for(resource: ResourceKind) -> Vec<&'static str> {
 
 /// Runs the sweep for every resource class. `measure_cycles` trades
 /// precision for time (the paper's full sweep is hundreds of runs).
-pub fn run(runner: &Runner, measure_cycles: u64) -> Vec<Fig2Result> {
+/// Fails on the first run error (the specs are built from the trusted
+/// registry, so only a broken machine configuration can do that).
+pub fn run(runner: &Runner, measure_cycles: u64) -> Result<Vec<Fig2Result>, RunError> {
     let config = fig2_config();
     let mut results = Vec::new();
     for resource in ResourceKind::ALL {
@@ -75,7 +78,7 @@ pub fn run(runner: &Runner, measure_cycles: u64) -> Vec<Fig2Result> {
                 specs.push(s);
             }
         }
-        let outs = runner.run_all(&specs);
+        let outs = runner.run_all(&specs)?;
         let per_frac = benches.len();
         let full_speed: Vec<f64> = outs[outs.len() - per_frac..]
             .iter()
@@ -102,7 +105,7 @@ pub fn run(runner: &Runner, measure_cycles: u64) -> Vec<Fig2Result> {
             .collect();
         results.push(Fig2Result { resource, series });
     }
-    results
+    Ok(results)
 }
 
 /// Formats the sweep like the paper's figure (rows = % resources, columns =
@@ -159,8 +162,11 @@ mod tests {
             s.measure_cycles = 40_000;
             s
         };
-        let small = runner.run(&make(Some(4))).throughput();
-        let full = runner.run(&make(Some(32))).throughput();
+        let small = runner.run(&make(Some(4))).expect("valid spec").throughput();
+        let full = runner
+            .run(&make(Some(32)))
+            .expect("valid spec")
+            .throughput();
         assert!(
             small < full,
             "4-entry LSQ ({small:.2}) should be slower than 32-entry ({full:.2})"

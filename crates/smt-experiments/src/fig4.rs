@@ -1,6 +1,7 @@
 //! Paper Figure 4: throughput and Hmean improvement of DCRA over static
 //! resource allocation (SRA), per workload class.
 
+use crate::fault::RunError;
 use crate::runner::{PolicyKind, Runner};
 use crate::sweep::{sweep_lengths, sweep_policy, PolicySweep};
 use crate::tables::{pct, TextTable};
@@ -47,7 +48,7 @@ impl Fig4Result {
 }
 
 /// Runs DCRA and SRA over the full Table-4 workload set.
-pub fn run(runner: &Runner) -> Fig4Result {
+pub fn run(runner: &Runner) -> Result<Fig4Result, RunError> {
     let config = SimConfig::baseline(2);
     let lengths = sweep_lengths();
     let dcra = sweep_policy(
@@ -55,9 +56,9 @@ pub fn run(runner: &Runner) -> Fig4Result {
         &PolicyKind::dcra_for_latency(300),
         &config,
         &lengths,
-    );
-    let sra = sweep_policy(runner, &PolicyKind::Sra, &config, &lengths);
-    Fig4Result { dcra, sra }
+    )?;
+    let sra = sweep_policy(runner, &PolicyKind::Sra, &config, &lengths)?;
+    Ok(Fig4Result { dcra, sra })
 }
 
 /// Formats the figure as a table of improvements per class.

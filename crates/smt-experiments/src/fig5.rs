@@ -2,6 +2,7 @@
 //! (a) raw IPC throughput per workload class, (b) Hmean improvement of
 //! DCRA over each policy.
 
+use crate::fault::RunError;
 use crate::runner::{PolicyKind, Runner};
 use crate::sweep::{sweep_lengths, sweep_policy, PolicySweep};
 use crate::tables::{f2, pct, TextTable};
@@ -44,20 +45,20 @@ impl Fig5Result {
 }
 
 /// Runs the four policies over the full Table-4 workload set.
-pub fn run(runner: &Runner) -> Fig5Result {
+pub fn run(runner: &Runner) -> Result<Fig5Result, RunError> {
     let config = SimConfig::baseline(2);
     let lengths = sweep_lengths();
-    Fig5Result {
-        icount: sweep_policy(runner, &PolicyKind::Icount, &config, &lengths),
-        dg: sweep_policy(runner, &PolicyKind::DataGating, &config, &lengths),
-        flushpp: sweep_policy(runner, &PolicyKind::FlushPlusPlus, &config, &lengths),
+    Ok(Fig5Result {
+        icount: sweep_policy(runner, &PolicyKind::Icount, &config, &lengths)?,
+        dg: sweep_policy(runner, &PolicyKind::DataGating, &config, &lengths)?,
+        flushpp: sweep_policy(runner, &PolicyKind::FlushPlusPlus, &config, &lengths)?,
         dcra: sweep_policy(
             runner,
             &PolicyKind::dcra_for_latency(300),
             &config,
             &lengths,
-        ),
-    }
+        )?,
+    })
 }
 
 /// Figure 5(a): IPC throughput per class and policy.

@@ -2,6 +2,7 @@
 //! SRA as the physical register pool grows (320/352/384 registers,
 //! 80-entry queues, 300-cycle memory).
 
+use crate::fault::RunError;
 use crate::runner::{PolicyKind, Runner};
 use crate::sweep::{sensitivity_lengths, sweep_policy_threads};
 use crate::tables::{pct, TextTable};
@@ -28,7 +29,7 @@ pub struct Fig6Result {
 }
 
 /// Runs the register-size sensitivity sweep.
-pub fn run(runner: &Runner) -> Fig6Result {
+pub fn run(runner: &Runner) -> Result<Fig6Result, RunError> {
     let lengths = sensitivity_lengths();
     let mut rows = Vec::new();
     for regs in REGISTER_SIZES {
@@ -40,15 +41,15 @@ pub fn run(runner: &Runner) -> Fig6Result {
             &config,
             &lengths,
             &[2],
-        );
+        )?;
         let mut imps = [0.0f64; 4];
         for (i, base) in BASELINES.iter().enumerate() {
-            let sweep = sweep_policy_threads(runner, base, &config, &lengths, &[2]);
+            let sweep = sweep_policy_threads(runner, base, &config, &lengths, &[2])?;
             imps[i] = improvement_pct(dcra.average().hmean, sweep.average().hmean);
         }
         rows.push((regs, imps));
     }
-    Fig6Result { rows }
+    Ok(Fig6Result { rows })
 }
 
 /// Formats the figure: one row per register size, one column per baseline.

@@ -3,6 +3,7 @@
 //! 10/20/25), with DCRA's sharing factor re-tuned per latency as in
 //! Section 5.3.
 
+use crate::fault::RunError;
 use crate::fig6::BASELINES;
 use crate::runner::{PolicyKind, Runner};
 use crate::sweep::{sensitivity_lengths, sweep_policy_threads};
@@ -22,7 +23,7 @@ pub struct Fig7Result {
 }
 
 /// Runs the latency sensitivity sweep.
-pub fn run(runner: &Runner) -> Fig7Result {
+pub fn run(runner: &Runner) -> Result<Fig7Result, RunError> {
     let lengths = sensitivity_lengths();
     let mut rows = Vec::new();
     for (mem_lat, l2_lat) in LATENCIES {
@@ -31,15 +32,15 @@ pub fn run(runner: &Runner) -> Fig7Result {
         config.mem.l2.latency = l2_lat;
         // Section 5.3: DCRA's C is re-tuned for each latency.
         let dcra_kind = PolicyKind::dcra_for_latency(mem_lat);
-        let dcra = sweep_policy_threads(runner, &dcra_kind, &config, &lengths, &[2]);
+        let dcra = sweep_policy_threads(runner, &dcra_kind, &config, &lengths, &[2])?;
         let mut imps = [0.0f64; 4];
         for (i, base) in BASELINES.iter().enumerate() {
-            let sweep = sweep_policy_threads(runner, base, &config, &lengths, &[2]);
+            let sweep = sweep_policy_threads(runner, base, &config, &lengths, &[2])?;
             imps[i] = improvement_pct(dcra.average().hmean, sweep.average().hmean);
         }
         rows.push((mem_lat, imps));
     }
-    Fig7Result { rows }
+    Ok(Fig7Result { rows })
 }
 
 /// Formats the figure: one row per latency, one column per baseline.

@@ -24,7 +24,9 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod chaos;
 pub mod extra;
+pub mod fault;
 pub mod fig2;
 pub mod fig4;
 pub mod fig5;
@@ -39,4 +41,5 @@ pub mod table3;
 pub mod table5;
 pub mod tables;
 
-pub use runner::{PolicyKind, RunOutcome, RunSpec, Runner, SimSession};
+pub use fault::{EngineOptions, EngineReport, InjectedFault, RetryPolicy, RunError};
+pub use runner::{PolicyKind, RunOutcome, RunSpec, RunStats, Runner, SimSession};

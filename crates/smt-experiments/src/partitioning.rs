@@ -7,6 +7,7 @@
 //! the resource classes (none, queues only, registers only, both) and
 //! compares against DCRA's dynamic allocation on the same workloads.
 
+use crate::fault::RunError;
 use crate::runner::{PolicyKind, RunSpec, Runner};
 use crate::tables::{f3, TextTable};
 use smt_isa::{PerResource, ResourceKind};
@@ -94,35 +95,34 @@ pub fn study_workloads() -> Vec<Workload> {
 }
 
 /// Runs the study.
-pub fn run(runner: &Runner, measure_cycles: u64) -> Vec<PartitionRow> {
+pub fn run(runner: &Runner, measure_cycles: u64) -> Result<Vec<PartitionRow>, RunError> {
     let workloads = study_workloads();
-    Partition::ALL
-        .iter()
-        .map(|&partition| {
-            let mut tput = 0.0;
-            let mut hm = 0.0;
-            for w in &workloads {
-                let mut spec = RunSpec::for_workload(
-                    w,
-                    partition.policy(
-                        w.threads() as u32,
-                        &smt_sim::SimConfig::baseline(w.threads()).resource_totals(),
-                    ),
-                );
-                spec.measure_cycles = measure_cycles;
-                let out = runner.run(&spec);
-                let singles = runner.single_ipcs(w, &spec.config, &spec);
-                tput += out.throughput();
-                hm += hmean(&out.ipcs(), &singles);
-            }
-            let n = workloads.len() as f64;
-            PartitionRow {
-                partition,
-                throughput: tput / n,
-                hmean: hm / n,
-            }
-        })
-        .collect()
+    let mut rows = Vec::new();
+    for &partition in Partition::ALL.iter() {
+        let mut tput = 0.0;
+        let mut hm = 0.0;
+        for w in &workloads {
+            let mut spec = RunSpec::for_workload(
+                w,
+                partition.policy(
+                    w.threads() as u32,
+                    &smt_sim::SimConfig::baseline(w.threads()).resource_totals(),
+                ),
+            );
+            spec.measure_cycles = measure_cycles;
+            let out = runner.run(&spec)?;
+            let singles = runner.single_ipcs(w, &spec.config, &spec)?;
+            tput += out.throughput();
+            hm += hmean(&out.ipcs(), &singles);
+        }
+        let n = workloads.len() as f64;
+        rows.push(PartitionRow {
+            partition,
+            throughput: tput / n,
+            hmean: hm / n,
+        });
+    }
+    Ok(rows)
 }
 
 /// Formats the study.

@@ -1,16 +1,27 @@
 //! Simulation runner: builds simulators from declarative specs, runs them
 //! (in parallel across OS threads, each worker owning one reusable
 //! [`SimSession`]) and caches single-thread baselines for the Hmean metric.
+//!
+//! Every run executes inside its own **fault domain**: panics are caught
+//! per run ([`std::panic::catch_unwind`]), budgets bound runaway runs, and
+//! every failure mode surfaces as a typed
+//! [`RunError`] inside [`RunOutcome::Failed`]
+//! rather than tearing the sweep down. See `ARCHITECTURE.md`, "Fault
+//! domains & error taxonomy".
 
+use crate::chaos::ChaosPolicy;
+use crate::fault::{EngineOptions, EngineReport, InjectedFault, RunError};
 use dcra::{Dcra, DcraConfig, SharingConfig};
 use smt_isa::{PerResource, ThreadId};
 use smt_policies as pol;
 use smt_sim::policy::AnyPolicy;
-use smt_sim::{SimConfig, SimResult, Simulator};
+use smt_sim::watch::CommitWatchdog;
+use smt_sim::{RunBudget, SimConfig, SimResult, Simulator};
 use smt_workloads::{spec, BenchmarkProfile, ScenarioMix, Workload};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Which policy to run. A declarative, `Clone`able stand-in for a built
 /// policy so run specs can be sent across threads.
@@ -102,7 +113,7 @@ impl PolicyKind {
 }
 
 /// One simulation to run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSpec {
     /// Benchmark names, one per hardware thread.
     pub benches: Vec<String>,
@@ -124,6 +135,13 @@ pub struct RunSpec {
     /// [`smt_workloads::spec`] — run through the same machinery; `benches`
     /// then only carries the display names.
     pub profile_overrides: Option<Vec<BenchmarkProfile>>,
+    /// Per-run budget overriding the engine default. `None` (the usual
+    /// case) defers to [`EngineOptions::budget`] — or
+    /// [`RunBudget::default`] for one-shot sessions.
+    pub budget: Option<RunBudget>,
+    /// Deterministic fault injection for chaos tests; `None` everywhere
+    /// else. See [`crate::chaos`].
+    pub fault: Option<InjectedFault>,
 }
 
 impl RunSpec {
@@ -141,6 +159,8 @@ impl RunSpec {
             warmup_cycles: 30_000,
             measure_cycles: 250_000,
             profile_overrides: None,
+            budget: None,
+            fault: None,
         }
     }
 
@@ -168,36 +188,42 @@ impl RunSpec {
         self
     }
 
-    fn profiles(&self) -> Vec<&BenchmarkProfile> {
+    fn profiles(&self) -> Result<Vec<&BenchmarkProfile>, RunError> {
         match &self.profile_overrides {
             Some(overrides) => {
-                assert_eq!(
-                    overrides.len(),
-                    self.benches.len(),
-                    "profile overrides must cover every thread"
-                );
-                overrides.iter().collect()
+                if overrides.len() != self.benches.len() {
+                    return Err(RunError::InvalidSpec {
+                        message: format!(
+                            "profile overrides cover {} threads, spec has {}",
+                            overrides.len(),
+                            self.benches.len()
+                        ),
+                    });
+                }
+                Ok(overrides.iter().collect())
             }
             None => self
                 .benches
                 .iter()
-                .map(|b| spec::profile(b).unwrap_or_else(|| panic!("unknown benchmark {b}")))
+                .map(|b| {
+                    spec::profile(b).ok_or_else(|| RunError::UnknownBenchmark { bench: b.clone() })
+                })
                 .collect(),
         }
     }
 }
 
-/// Result of a run, with the memory statistics snapshot the experiments
-/// need in addition to the pipeline statistics.
-#[derive(Debug, Clone)]
-pub struct RunOutcome {
+/// Statistics of one completed run: the pipeline-side result plus the
+/// memory snapshot the experiments need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
     /// Pipeline-side result (IPCs, fetch counts, MLP, ...).
     pub result: SimResult,
     /// Per-thread memory statistics (L1/L2 miss rates).
     pub mem: Vec<smt_mem::ThreadMemStats>,
 }
 
-impl RunOutcome {
+impl RunStats {
     /// Convenience: per-thread IPCs.
     pub fn ipcs(&self) -> Vec<f64> {
         self.result.ipcs()
@@ -206,6 +232,68 @@ impl RunOutcome {
     /// Convenience: IPC throughput.
     pub fn throughput(&self) -> f64 {
         self.result.throughput()
+    }
+}
+
+/// What became of one run inside the fault-isolated engine: either the
+/// statistics of a completed run or the typed error it failed with. In
+/// both cases `attempts` counts executions (0 for admission-control
+/// rejections that never ran).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// The run completed and produced statistics.
+    Completed {
+        /// The run's statistics.
+        stats: RunStats,
+        /// Attempts consumed, retries included (1 = first try).
+        attempts: u32,
+    },
+    /// The run failed on every permitted attempt (or was rejected).
+    Failed {
+        /// Why the final attempt failed.
+        error: RunError,
+        /// Attempts consumed (0 = rejected before running).
+        attempts: u32,
+    },
+}
+
+impl RunOutcome {
+    /// The statistics, if the run completed.
+    pub fn stats(&self) -> Option<&RunStats> {
+        match self {
+            RunOutcome::Completed { stats, .. } => Some(stats),
+            RunOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The error, if the run failed.
+    pub fn error(&self) -> Option<&RunError> {
+        match self {
+            RunOutcome::Completed { .. } => None,
+            RunOutcome::Failed { error, .. } => Some(error),
+        }
+    }
+
+    /// `true` if the run completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed { .. })
+    }
+
+    /// Attempts consumed (0 for admission-control rejections).
+    pub fn attempts(&self) -> u32 {
+        match self {
+            RunOutcome::Completed { attempts, .. } | RunOutcome::Failed { attempts, .. } => {
+                *attempts
+            }
+        }
+    }
+
+    /// Unwraps into `Result`, discarding the attempt count.
+    pub fn into_stats(self) -> Result<RunStats, RunError> {
+        match self {
+            RunOutcome::Completed { stats, .. } => Ok(stats),
+            RunOutcome::Failed { error, .. } => Err(error),
+        }
     }
 }
 
@@ -231,8 +319,8 @@ impl RunOutcome {
 /// spec.prewarm_insts = 10_000;
 /// spec.warmup_cycles = 1_000;
 /// spec.measure_cycles = 5_000;
-/// let first = session.run(&spec);   // builds the simulator
-/// let second = session.run(&spec);  // reuses it in place
+/// let first = session.run(&spec).expect("valid spec");   // builds the simulator
+/// let second = session.run(&spec).expect("valid spec");  // reuses it in place
 /// assert_eq!(first.result, second.result);
 /// ```
 #[derive(Debug, Default)]
@@ -249,40 +337,129 @@ impl SimSession {
     /// Runs one spec to completion, reusing the owned simulator when the
     /// machine configuration matches.
     ///
-    /// # Panics
-    ///
-    /// Panics if a benchmark name is unknown or the spec's machine
-    /// configuration is invalid ([`SimConfig::validate`] — a hard check
-    /// that holds in release builds, so e.g. a >8-thread config from a
-    /// deserialized sweep file fails loudly here instead of corrupting
-    /// issue ordering downstream).
-    pub fn run(&mut self, spec: &RunSpec) -> RunOutcome {
+    /// Unknown benchmarks, invalid machine configurations
+    /// ([`SimConfig::validate`] — a hard check that holds in release
+    /// builds, so e.g. a >8-thread config from a deserialized sweep file
+    /// fails loudly here instead of corrupting issue ordering downstream)
+    /// and budget breaches come back as typed [`RunError`]s. Panics from
+    /// policy or simulator code propagate — one-shot callers that need
+    /// containment go through the [`Runner`] engine instead, which wraps
+    /// each attempt in [`std::panic::catch_unwind`].
+    pub fn run(&mut self, spec: &RunSpec) -> Result<RunStats, RunError> {
+        self.run_attempt(spec, 0, spec.budget.unwrap_or_default())
+    }
+
+    /// One attempt of `spec`. `attempt` is 0-based and only consulted by
+    /// injected faults (a transient fault stops panicking once
+    /// `attempt >= fail_attempts`); `default_budget` applies when the spec
+    /// carries no budget of its own.
+    fn run_attempt(
+        &mut self,
+        spec: &RunSpec,
+        attempt: u32,
+        default_budget: RunBudget,
+    ) -> Result<RunStats, RunError> {
         spec.config
             .validate()
-            .unwrap_or_else(|e| panic!("invalid run spec configuration: {e}"));
-        let profiles = spec.profiles();
+            .map_err(|e| RunError::InvalidSpec { message: e })?;
+        let profiles = spec.profiles()?;
+        let policy = match spec.fault {
+            Some(InjectedFault::PanicAtCycle {
+                at_cycle,
+                fail_attempts,
+            }) if attempt < fail_attempts => {
+                AnyPolicy::Boxed(Box::new(ChaosPolicy::new(spec.policy.build(), at_cycle)))
+            }
+            _ => spec.policy.build(),
+        };
         let sim = match &mut self.sim {
             Some(sim) if sim.config() == &spec.config => {
-                sim.reset(&profiles, spec.policy.build(), spec.seed);
+                sim.reset(&profiles, policy, spec.seed);
                 sim
             }
             slot => slot.insert(Simulator::new(
                 spec.config.clone(),
                 &profiles,
-                spec.policy.build(),
+                policy,
                 spec.seed,
             )),
         };
         sim.prewarm(spec.prewarm_insts);
-        sim.run_cycles(spec.warmup_cycles);
-        sim.reset_stats();
-        sim.run_cycles(spec.measure_cycles);
+        let budget = spec.budget.unwrap_or(default_budget);
+        if budget.is_unlimited() {
+            sim.run_cycles(spec.warmup_cycles);
+            sim.reset_stats();
+            sim.run_cycles(spec.measure_cycles);
+        } else {
+            // One watchdog spans warm-up and measurement, so the cycle cap
+            // bounds the whole run. A breach leaves the simulator in the
+            // session: its allocations are fine, and the next run's
+            // `reset` restores a clean machine.
+            let mut watch = CommitWatchdog::new(budget);
+            sim.run_cycles_budgeted(spec.warmup_cycles, &mut watch)
+                .map_err(RunError::from_breach)?;
+            sim.reset_stats();
+            sim.run_cycles_budgeted(spec.measure_cycles, &mut watch)
+                .map_err(RunError::from_breach)?;
+        }
         let mem = (0..spec.benches.len())
             .map(|i| sim.memory().thread_stats(ThreadId::new(i)))
             .collect();
-        RunOutcome {
+        Ok(RunStats {
             result: sim.result(),
             mem,
+        })
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Runs `spec` on `session` under the engine's fault domain: each attempt
+/// is wrapped in `catch_unwind`, a caught panic discards the (possibly
+/// corrupt) simulator, and transient failures retry per `opts.retry`.
+fn execute_with_retry(
+    session: &mut SimSession,
+    spec: &RunSpec,
+    opts: &EngineOptions,
+) -> RunOutcome {
+    let mut attempt = 0u32;
+    loop {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            session.run_attempt(spec, attempt, opts.budget)
+        }));
+        attempt += 1;
+        let error = match result {
+            Ok(Ok(stats)) => {
+                return RunOutcome::Completed {
+                    stats,
+                    attempts: attempt,
+                }
+            }
+            Ok(Err(error)) => error,
+            Err(payload) => {
+                // The unwound simulator may hold arbitrary state; discard
+                // it so the next run on this worker starts clean.
+                *session = SimSession::new();
+                RunError::Panicked {
+                    message: panic_message(payload),
+                }
+            }
+        };
+        if attempt >= opts.retry.max_attempts || !error.is_transient() {
+            return RunOutcome::Failed {
+                error,
+                attempts: attempt,
+            };
+        }
+        let backoff = opts.retry.backoff_for(attempt);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
         }
     }
 }
@@ -311,7 +488,7 @@ struct BaselineKey {
 /// spec.prewarm_insts = 10_000; // tiny run for the example
 /// spec.warmup_cycles = 1_000;
 /// spec.measure_cycles = 5_000;
-/// let out = runner.run(&spec);
+/// let out = runner.run(&spec).expect("valid spec");
 /// assert!(out.throughput() > 0.0);
 /// ```
 #[derive(Debug, Default)]
@@ -325,12 +502,10 @@ impl Runner {
         Runner::default()
     }
 
-    /// Runs one spec to completion in a one-shot session.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a benchmark name is unknown.
-    pub fn run(&self, spec: &RunSpec) -> RunOutcome {
+    /// Runs one spec to completion in a one-shot session. Spec-level
+    /// failures come back as [`RunError`]; panics propagate (use the
+    /// worker-pool entry points for panic containment).
+    pub fn run(&self, spec: &RunSpec) -> Result<RunStats, RunError> {
         SimSession::new().run(spec)
     }
 
@@ -341,18 +516,22 @@ impl Runner {
     /// same machine configuration reuse a simulator instead of building one
     /// per run — the dominant setup cost of the paper-scale sweeps. The
     /// sink receives `(spec_index, outcome)` pairs in *completion* order
-    /// (not spec order) under an internal lock; outcomes are identical to
-    /// sequential fresh-simulator runs, so consumers that aggregate
-    /// incrementally (the sweep and figure binaries) never materialise the
-    /// whole result vector.
-    pub fn run_streaming<F>(&self, specs: &[RunSpec], sink: F)
+    /// (not spec order) under an internal lock; completed outcomes are
+    /// identical to sequential fresh-simulator runs, so consumers that
+    /// aggregate incrementally (the sweep and figure binaries) never
+    /// materialise the whole result vector.
+    ///
+    /// Each run executes in its own fault domain (see
+    /// [`Runner::run_isolated`], which this delegates to with default
+    /// [`EngineOptions`]).
+    pub fn run_streaming<F>(&self, specs: &[RunSpec], sink: F) -> EngineReport
     where
         F: FnMut(usize, RunOutcome) + Send,
     {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
-        self.run_streaming_with_workers(specs, workers, sink);
+        self.run_streaming_with_workers(specs, workers, sink)
     }
 
     /// [`Runner::run_streaming`] with an explicit worker count instead of
@@ -363,36 +542,153 @@ impl Runner {
     /// # Panics
     ///
     /// Panics if `workers` is zero (with specs pending).
-    pub fn run_streaming_with_workers<F>(&self, specs: &[RunSpec], workers: usize, sink: F)
+    pub fn run_streaming_with_workers<F>(
+        &self,
+        specs: &[RunSpec],
+        workers: usize,
+        sink: F,
+    ) -> EngineReport
+    where
+        F: FnMut(usize, RunOutcome) + Send,
+    {
+        self.run_isolated(specs, workers, &EngineOptions::default(), sink)
+    }
+
+    /// The fault-isolated engine: runs `specs` on `workers` threads under
+    /// explicit [`EngineOptions`], streaming `(spec_index, outcome)` pairs
+    /// into `sink` in completion order.
+    ///
+    /// Fault-domain guarantees:
+    ///
+    /// * **Panic containment** — a panicking run (policy bug, corrupt
+    ///   spec, injected chaos) is caught on its worker; the worker's
+    ///   simulator is discarded and the queue keeps draining. The panic
+    ///   surfaces as [`RunError::Panicked`].
+    /// * **Budgets** — every run is bounded by its spec's budget or
+    ///   `opts.budget`; breaches surface as [`RunError::CycleBudget`] /
+    ///   [`RunError::Livelock`].
+    /// * **Retry** — transient failures retry up to
+    ///   `opts.retry.max_attempts` with deterministic replay (same seed,
+    ///   same spec, fresh simulator).
+    /// * **Admission control** — with `opts.queue_capacity = Some(cap)`,
+    ///   spec indices `>= cap` are rejected up front as
+    ///   [`RunError::QueueFull`] (attempts 0) and delivered to the sink
+    ///   before any run executes.
+    /// * **Sink isolation** — a panicking sink callback is caught too; the
+    ///   shared sink lock is explicitly poison-recovered, sibling
+    ///   deliveries proceed, and the affected indices are reported in
+    ///   [`EngineReport::sink_panics`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero (with specs pending).
+    pub fn run_isolated<F>(
+        &self,
+        specs: &[RunSpec],
+        workers: usize,
+        opts: &EngineOptions,
+        sink: F,
+    ) -> EngineReport
     where
         F: FnMut(usize, RunOutcome) + Send,
     {
         if specs.is_empty() {
-            return;
+            return EngineReport::default();
         }
         assert!(workers > 0, "need at least one worker");
-        let workers = workers.min(specs.len());
-        let next = AtomicUsize::new(0);
+        let admitted = opts
+            .queue_capacity
+            .map_or(specs.len(), |cap| specs.len().min(cap));
         let sink = Mutex::new(sink);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut session = SimSession::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(spec) = specs.get(i) else { break };
-                        let outcome = session.run(spec);
-                        (*sink.lock().expect("poisoned sink"))(i, outcome);
-                    }
-                });
+        let sink_panics: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let completed = AtomicUsize::new(0);
+        let failed = AtomicUsize::new(0);
+
+        // Holds the sink lock *outside* the catch_unwind closure: a panic
+        // inside the callback unwinds only to the catch boundary, never
+        // across the guard's scope, so the mutex is released cleanly (not
+        // poisoned) and other workers keep delivering.
+        let deliver = |i: usize, outcome: RunOutcome| {
+            let mut guard = sink.lock().unwrap_or_else(PoisonError::into_inner);
+            let delivery = catch_unwind(AssertUnwindSafe(|| (*guard)(i, outcome)));
+            drop(guard);
+            if delivery.is_err() {
+                sink_panics
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(i);
             }
-        });
+        };
+
+        // Admission control: rejections are decided and delivered before
+        // any simulation starts, so a flooded queue fails fast.
+        let rejected = specs.len() - admitted;
+        for (i, _) in specs.iter().enumerate().skip(admitted) {
+            failed.fetch_add(1, Ordering::Relaxed);
+            deliver(
+                i,
+                RunOutcome::Failed {
+                    error: RunError::QueueFull {
+                        capacity: admitted,
+                        depth: specs.len(),
+                    },
+                    attempts: 0,
+                },
+            );
+        }
+
+        if admitted > 0 {
+            let workers = workers.min(admitted);
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut session = SimSession::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= admitted {
+                                break;
+                            }
+                            let outcome = execute_with_retry(&mut session, &specs[i], opts);
+                            let counter = if outcome.is_completed() {
+                                &completed
+                            } else {
+                                &failed
+                            };
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            deliver(i, outcome);
+                        }
+                    });
+                }
+            });
+        }
+
+        let mut sink_panics = sink_panics
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        sink_panics.sort_unstable();
+        EngineReport {
+            completed: completed.into_inner(),
+            failed: failed.into_inner(),
+            rejected,
+            sink_panics,
+        }
     }
 
-    /// Runs many specs in parallel and returns the outcomes in spec order.
-    /// A convenience wrapper over [`Runner::run_streaming`] for consumers
-    /// that want the whole result vector.
-    pub fn run_all(&self, specs: &[RunSpec]) -> Vec<RunOutcome> {
+    /// Runs many specs in parallel and returns their statistics in spec
+    /// order, or the first failure (by spec index). For partial results in
+    /// the presence of failures use [`Runner::run_all_outcomes`].
+    pub fn run_all(&self, specs: &[RunSpec]) -> Result<Vec<RunStats>, RunError> {
+        let mut stats = Vec::with_capacity(specs.len());
+        for outcome in self.run_all_outcomes(specs) {
+            stats.push(outcome.into_stats()?);
+        }
+        Ok(stats)
+    }
+
+    /// Runs many specs in parallel (default worker count) and returns all
+    /// outcomes — completed and failed — in spec order.
+    pub fn run_all_outcomes(&self, specs: &[RunSpec]) -> Vec<RunOutcome> {
         let mut slots: Vec<Option<RunOutcome>> = specs.iter().map(|_| None).collect();
         self.run_streaming(specs, |i, outcome| slots[i] = Some(outcome));
         slots
@@ -401,8 +697,8 @@ impl Runner {
             .collect()
     }
 
-    /// [`Runner::run_all`] with an explicit worker count; results are in
-    /// spec order and independent of `workers`.
+    /// [`Runner::run_all_outcomes`] with an explicit worker count; results
+    /// are in spec order and independent of `workers`.
     pub fn run_all_with_workers(&self, specs: &[RunSpec], workers: usize) -> Vec<RunOutcome> {
         let mut slots: Vec<Option<RunOutcome>> = specs.iter().map(|_| None).collect();
         self.run_streaming_with_workers(specs, workers, |i, outcome| slots[i] = Some(outcome));
@@ -414,24 +710,37 @@ impl Runner {
 
     /// Single-thread baseline IPC of `bench` on `config` (ICOUNT, full
     /// machine), cached per (bench, complete one-thread machine config).
-    pub fn single_ipc(&self, bench: &str, config: &SimConfig, lengths: &RunSpec) -> f64 {
+    pub fn single_ipc(
+        &self,
+        bench: &str,
+        config: &SimConfig,
+        lengths: &RunSpec,
+    ) -> Result<f64, RunError> {
         let mut single = config.clone();
         single.threads = 1;
         let key = BaselineKey {
             bench: bench.to_string(),
             config: single.clone(),
         };
-        if let Some(v) = self.baselines.lock().expect("poisoned").get(&key) {
-            return *v;
+        if let Some(v) = self
+            .baselines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
+            return Ok(*v);
         }
         let mut spec = RunSpec::new(&[bench], PolicyKind::Icount);
         spec.config = single;
         spec.prewarm_insts = lengths.prewarm_insts;
         spec.warmup_cycles = lengths.warmup_cycles;
         spec.measure_cycles = lengths.measure_cycles;
-        let ipc = self.run(&spec).throughput();
-        self.baselines.lock().expect("poisoned").insert(key, ipc);
-        ipc
+        let ipc = self.run(&spec)?.throughput();
+        self.baselines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, ipc);
+        Ok(ipc)
     }
 
     /// Single-thread baselines for every benchmark of a workload.
@@ -440,7 +749,7 @@ impl Runner {
         workload: &Workload,
         config: &SimConfig,
         lengths: &RunSpec,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, RunError> {
         workload
             .benchmarks
             .iter()
@@ -452,6 +761,7 @@ impl Runner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::RetryPolicy;
     use smt_sim::policy::Policy as _;
 
     fn tiny(benches: &[&str], policy: PolicyKind) -> RunSpec {
@@ -503,7 +813,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid run spec configuration")]
     fn session_rejects_oversized_thread_configs() {
         // Release builds must refuse >MAX_THREADS configs with a clear
         // error: the ready-key packing (`seq << 3 | tid`) assumes tid < 8
@@ -511,21 +820,37 @@ mod tests {
         let mut spec = tiny(&["gzip", "mcf"], PolicyKind::Icount);
         spec.config.threads = smt_isa::ThreadId::MAX_THREADS + 1;
         spec.config.phys_regs = u32::MAX;
-        let _ = SimSession::new().run(&spec);
+        assert!(matches!(
+            SimSession::new().run(&spec),
+            Err(RunError::InvalidSpec { .. })
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "invalid run spec configuration")]
     fn session_rejects_zero_sized_queues() {
         let mut spec = tiny(&["gzip"], PolicyKind::Icount);
         spec.config.fetch_queue = 0;
-        let _ = SimSession::new().run(&spec);
+        assert!(matches!(
+            SimSession::new().run(&spec),
+            Err(RunError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn session_reports_unknown_benchmarks() {
+        let spec = tiny(&["gzip", "no-such-bench"], PolicyKind::Icount);
+        match SimSession::new().run(&spec) {
+            Err(RunError::UnknownBenchmark { bench }) => assert_eq!(bench, "no-such-bench"),
+            other => panic!("expected UnknownBenchmark, got {other:?}"),
+        }
     }
 
     #[test]
     fn run_produces_progress() {
         let r = Runner::new();
-        let out = r.run(&tiny(&["gzip", "twolf"], PolicyKind::Icount));
+        let out = r
+            .run(&tiny(&["gzip", "twolf"], PolicyKind::Icount))
+            .expect("valid spec");
         assert!(out.throughput() > 0.1);
         assert_eq!(out.mem.len(), 2);
     }
@@ -537,9 +862,9 @@ mod tests {
             tiny(&["gzip"], PolicyKind::Icount),
             tiny(&["twolf"], PolicyKind::Dcra(DcraConfig::default())),
         ];
-        let batch = r.run_all(&specs);
-        let solo0 = r.run(&specs[0]);
-        let solo1 = r.run(&specs[1]);
+        let batch = r.run_all(&specs).expect("valid specs");
+        let solo0 = r.run(&specs[0]).expect("valid spec");
+        let solo1 = r.run(&specs[1]).expect("valid spec");
         assert_eq!(
             batch[0].result, solo0.result,
             "parallel run must be deterministic"
@@ -558,8 +883,8 @@ mod tests {
         ];
         let mut session = SimSession::new();
         for spec in &specs {
-            let reused = session.run(spec);
-            let fresh = SimSession::new().run(spec);
+            let reused = session.run(spec).expect("valid spec");
+            let fresh = SimSession::new().run(spec).expect("valid spec");
             assert_eq!(reused.result, fresh.result, "session reuse drifted");
             assert_eq!(reused.mem, fresh.mem);
         }
@@ -574,16 +899,187 @@ mod tests {
             tiny(&["art"], PolicyKind::Flush),
         ];
         let mut seen = vec![false; specs.len()];
-        let mut outcomes: Vec<Option<RunOutcome>> = specs.iter().map(|_| None).collect();
-        r.run_streaming(&specs, |i, out| {
+        let mut outcomes: Vec<Option<RunStats>> = specs.iter().map(|_| None).collect();
+        let report = r.run_streaming(&specs, |i, out| {
             seen[i] = true;
-            outcomes[i] = Some(out);
+            outcomes[i] = Some(out.into_stats().expect("valid spec"));
         });
         assert!(seen.iter().all(|&s| s), "every spec must reach the sink");
-        let batch = r.run_all(&specs);
+        assert_eq!(report.completed, specs.len());
+        assert_eq!(report.failed, 0);
+        let batch = r.run_all(&specs).expect("valid specs");
         for (streamed, batched) in outcomes.iter().zip(&batch) {
             assert_eq!(streamed.as_ref().expect("seen").result, batched.result);
         }
+    }
+
+    #[test]
+    fn failed_runs_do_not_poison_their_worker_session() {
+        // A faulted run sandwiched between good runs must leave its worker
+        // (and the shared sink) fully functional, and the good runs
+        // bit-identical to a clean batch.
+        crate::chaos::silence_chaos_panics();
+        let good = [
+            tiny(&["gzip", "mcf"], PolicyKind::Icount),
+            tiny(&["art", "gcc"], PolicyKind::Flush),
+        ];
+        let mut bad = tiny(&["twolf", "swim"], PolicyKind::Stall);
+        bad.fault = Some(InjectedFault::PanicAtCycle {
+            at_cycle: 64,
+            fail_attempts: u32::MAX,
+        });
+        let specs = vec![good[0].clone(), bad, good[1].clone()];
+        let r = Runner::new();
+        let outcomes = r.run_all_with_workers(&specs, 1);
+        match &outcomes[1] {
+            RunOutcome::Failed {
+                error: RunError::Panicked { message },
+                attempts: 1,
+            } => assert!(message.contains("chaos-injected"), "{message}"),
+            other => panic!("expected contained panic, got {other:?}"),
+        }
+        for (i, spec) in [(0usize, &good[0]), (2usize, &good[1])] {
+            let clean = r.run(spec).expect("valid spec");
+            let stats = outcomes[i].stats().expect("good run completed");
+            assert_eq!(stats.result, clean.result, "spec {i} contaminated");
+            assert_eq!(stats.mem, clean.mem);
+        }
+    }
+
+    #[test]
+    fn transient_faults_retry_to_a_bit_identical_completion() {
+        crate::chaos::silence_chaos_panics();
+        let mut spec = tiny(&["gzip", "mcf"], PolicyKind::Icount);
+        spec.fault = Some(InjectedFault::PanicAtCycle {
+            at_cycle: 64,
+            fail_attempts: 1,
+        });
+        let opts = EngineOptions {
+            retry: RetryPolicy::immediate(2),
+            ..EngineOptions::default()
+        };
+        let mut session = SimSession::new();
+        let outcome = execute_with_retry(&mut session, &spec, &opts);
+        let (stats, attempts) = match outcome {
+            RunOutcome::Completed { stats, attempts } => (stats, attempts),
+            other => panic!("retry should complete, got {other:?}"),
+        };
+        assert_eq!(attempts, 2, "first attempt panics, second succeeds");
+        let mut clean = spec.clone();
+        clean.fault = None;
+        let reference = Runner::new().run(&clean).expect("valid spec");
+        assert_eq!(stats.result, reference.result, "retry must replay exactly");
+        assert_eq!(stats.mem, reference.mem);
+    }
+
+    #[test]
+    fn without_retries_a_transient_fault_still_fails_typed() {
+        crate::chaos::silence_chaos_panics();
+        let mut spec = tiny(&["gzip"], PolicyKind::Icount);
+        spec.fault = Some(InjectedFault::PanicAtCycle {
+            at_cycle: 64,
+            fail_attempts: 1,
+        });
+        let outcome = execute_with_retry(
+            &mut SimSession::new(),
+            &spec,
+            &EngineOptions::default(), // RetryPolicy::none()
+        );
+        assert!(
+            matches!(
+                outcome,
+                RunOutcome::Failed {
+                    error: RunError::Panicked { .. },
+                    attempts: 1,
+                }
+            ),
+            "got {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn admission_control_rejects_past_capacity() {
+        let r = Runner::new();
+        let specs = vec![
+            tiny(&["gzip"], PolicyKind::Icount),
+            tiny(&["mcf"], PolicyKind::Stall),
+            tiny(&["art"], PolicyKind::Flush),
+        ];
+        let opts = EngineOptions {
+            queue_capacity: Some(2),
+            ..EngineOptions::default()
+        };
+        let mut outcomes: Vec<Option<RunOutcome>> = specs.iter().map(|_| None).collect();
+        let report = r.run_isolated(&specs, 2, &opts, |i, o| outcomes[i] = Some(o));
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.rejected, 1);
+        assert!(outcomes[0].as_ref().expect("ran").is_completed());
+        assert!(outcomes[1].as_ref().expect("ran").is_completed());
+        match outcomes[2].as_ref().expect("delivered") {
+            RunOutcome::Failed {
+                error: RunError::QueueFull { capacity, depth },
+                attempts: 0,
+            } => {
+                assert_eq!((*capacity, *depth), (2, 3));
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sink_panics_are_contained_and_reported() {
+        crate::chaos::silence_chaos_panics();
+        let r = Runner::new();
+        let specs = vec![
+            tiny(&["gzip"], PolicyKind::Icount),
+            tiny(&["mcf"], PolicyKind::Stall),
+            tiny(&["art"], PolicyKind::Flush),
+        ];
+        let mut delivered = Vec::new();
+        let report = r.run_isolated(&specs, 2, &EngineOptions::default(), |i, o| {
+            if i == 1 {
+                panic!("chaos-injected sink failure for spec {i}");
+            }
+            delivered.push((i, o.is_completed()));
+        });
+        assert_eq!(report.sink_panics, vec![1]);
+        assert_eq!(report.completed, 3, "the run itself completed");
+        delivered.sort_unstable();
+        assert_eq!(delivered, vec![(0, true), (2, true)]);
+    }
+
+    #[test]
+    fn budget_breaches_surface_as_typed_errors() {
+        let mut spec = tiny(&["gzip"], PolicyKind::Icount);
+        spec.budget = Some(RunBudget {
+            max_cycles: Some(50),
+            livelock_window: None,
+        });
+        match SimSession::new().run(&spec) {
+            Err(RunError::CycleBudget { limit: 50, .. }) => {}
+            other => panic!("expected CycleBudget, got {other:?}"),
+        }
+        spec.budget = Some(RunBudget {
+            max_cycles: None,
+            livelock_window: Some(1),
+        });
+        match SimSession::new().run(&spec) {
+            Err(RunError::Livelock { window: 1, .. }) => {}
+            other => panic!("expected Livelock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_budget_leaves_results_bit_identical() {
+        // The default livelock watchdog must never perturb a healthy run.
+        let spec = tiny(&["gzip", "mcf"], PolicyKind::Icount);
+        let mut unbudgeted = spec.clone();
+        unbudgeted.budget = Some(RunBudget::unlimited());
+        let watched = SimSession::new().run(&spec).expect("valid spec");
+        let free = SimSession::new().run(&unbudgeted).expect("valid spec");
+        assert_eq!(watched.result, free.result);
+        assert_eq!(watched.mem, free.mem);
     }
 
     #[test]
@@ -591,10 +1087,20 @@ mod tests {
         let r = Runner::new();
         let lengths = tiny(&["gzip"], PolicyKind::Icount);
         let cfg = SimConfig::baseline(1);
-        let a = r.single_ipc("gzip", &cfg, &lengths);
-        let b = r.single_ipc("gzip", &cfg, &lengths);
+        let a = r.single_ipc("gzip", &cfg, &lengths).expect("known bench");
+        let b = r.single_ipc("gzip", &cfg, &lengths).expect("known bench");
         assert_eq!(a, b);
         assert!(a > 0.5);
+    }
+
+    #[test]
+    fn baseline_lookup_reports_unknown_benchmarks() {
+        let r = Runner::new();
+        let lengths = tiny(&["gzip"], PolicyKind::Icount);
+        assert!(matches!(
+            r.single_ipc("no-such-bench", &SimConfig::baseline(1), &lengths),
+            Err(RunError::UnknownBenchmark { .. })
+        ));
     }
 
     #[test]
@@ -605,17 +1111,21 @@ mod tests {
         let r = Runner::new();
         let lengths = tiny(&["gzip"], PolicyKind::Icount);
         let full = SimConfig::baseline(1);
-        let ipc_full = r.single_ipc("gzip", &full, &lengths);
+        let ipc_full = r.single_ipc("gzip", &full, &lengths).expect("known bench");
         let mut small_rob = full.clone();
         small_rob.rob_entries = 16;
-        let ipc_small = r.single_ipc("gzip", &small_rob, &lengths);
+        let ipc_small = r
+            .single_ipc("gzip", &small_rob, &lengths)
+            .expect("known bench");
         assert!(
             ipc_small < ipc_full,
             "16-entry ROB ({ipc_small}) must underperform the 512-entry baseline ({ipc_full})"
         );
         let mut small_l2 = full.clone();
         small_l2.mem.l2.size_bytes = 16 * 1024;
-        let ipc_small_l2 = r.single_ipc("gzip", &small_l2, &lengths);
+        let ipc_small_l2 = r
+            .single_ipc("gzip", &small_l2, &lengths)
+            .expect("known bench");
         assert_ne!(
             ipc_full, ipc_small_l2,
             "cache geometry must be part of the baseline key"
@@ -628,8 +1138,12 @@ mod tests {
         // over the same machine shape share the cache entry.
         let r = Runner::new();
         let lengths = tiny(&["gzip"], PolicyKind::Icount);
-        let a = r.single_ipc("gzip", &SimConfig::baseline(2), &lengths);
-        let b = r.single_ipc("gzip", &SimConfig::baseline(4), &lengths);
+        let a = r
+            .single_ipc("gzip", &SimConfig::baseline(2), &lengths)
+            .expect("known bench");
+        let b = r
+            .single_ipc("gzip", &SimConfig::baseline(4), &lengths)
+            .expect("known bench");
         assert_eq!(a, b);
     }
 }

@@ -11,6 +11,7 @@
 //! `smt-workloads` so the adversarial generator can name its victim) are
 //! mapped back to [`PolicyKind`]s here by name.
 
+use crate::fault::RunError;
 use crate::runner::{PolicyKind, RunSpec, Runner};
 use smt_workloads::{FamilySpec, PolicyTarget, ScenarioFamily};
 
@@ -88,6 +89,17 @@ pub struct MixOutcome {
     pub ipcs: Vec<f64>,
 }
 
+/// A mix whose run failed inside a family sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixFailure {
+    /// Index of the mix within the family.
+    pub index: usize,
+    /// The mix's stable id.
+    pub id: String,
+    /// Why the run failed.
+    pub error: RunError,
+}
+
 /// Summary of one family swept under one policy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FamilySweepSummary {
@@ -99,8 +111,12 @@ pub struct FamilySweepSummary {
     pub policy: String,
     /// Family seed.
     pub seed: u64,
-    /// Per-mix outcomes, index order.
+    /// Per-mix outcomes of the completed runs, index order.
     pub mixes: Vec<MixOutcome>,
+    /// Mixes whose run failed, index order. Excluded from `mixes` and from
+    /// [`FamilySweepSummary::mean_throughput`] — partial results are
+    /// explicitly partial.
+    pub failures: Vec<MixFailure>,
 }
 
 impl FamilySweepSummary {
@@ -130,22 +146,30 @@ pub fn sweep_family(
     lengths: ScenarioLengths,
 ) -> FamilySweepSummary {
     let specs = specs_for_family(family, policy, lengths);
-    let outcomes = runner.run_all(&specs);
+    let outcomes = runner.run_all_outcomes(&specs);
+    let mut mixes = Vec::with_capacity(outcomes.len());
+    let mut failures = Vec::new();
+    for (index, (mix, outcome)) in family.mixes().iter().zip(outcomes).enumerate() {
+        match outcome.into_stats() {
+            Ok(out) => mixes.push(MixOutcome {
+                id: mix.id.clone(),
+                throughput: out.throughput(),
+                ipcs: out.ipcs(),
+            }),
+            Err(error) => failures.push(MixFailure {
+                index,
+                id: mix.id.clone(),
+                error,
+            }),
+        }
+    }
     FamilySweepSummary {
         family: family.spec().name.clone(),
         tag: family.spec().profile.tag(),
         policy: policy.name().to_string(),
         seed: family.seed(),
-        mixes: family
-            .mixes()
-            .iter()
-            .zip(outcomes)
-            .map(|(mix, out)| MixOutcome {
-                id: mix.id.clone(),
-                throughput: out.throughput(),
-                ipcs: out.ipcs(),
-            })
-            .collect(),
+        mixes,
+        failures,
     }
 }
 
@@ -201,6 +225,7 @@ mod tests {
             ScenarioLengths::smoke(),
         );
         assert_eq!(summary.mixes.len(), 2);
+        assert!(summary.failures.is_empty());
         assert!(summary.all_finite());
         assert!(summary.mean_throughput() > 0.1);
     }

@@ -2,6 +2,7 @@
 //! the paper's 36 workloads and aggregate by workload class (the 9
 //! ILP/MIX/MEM × 2/3/4 classes of Section 4).
 
+use crate::fault::RunError;
 use crate::runner::{PolicyKind, RunSpec, Runner};
 use smt_metrics::hmean;
 use smt_sim::SimConfig;
@@ -30,12 +31,17 @@ pub struct PolicySweep {
     pub policy: String,
     /// `(threads, type, metrics)` rows for the 9 classes.
     pub classes: Vec<(usize, WorkloadType, ClassMetrics)>,
+    /// Workloads whose run failed, as `(spec_index, error)` pairs in spec
+    /// order. Failed runs are *excluded* from the class averages above —
+    /// a partial result is explicitly partial, never silently averaged in
+    /// as zeros.
+    pub failures: Vec<(usize, RunError)>,
 }
 
 impl PolicySweep {
     /// Metrics of one class, if the sweep covered it. Partial sweeps
-    /// (restricted thread counts, filtered workloads) simply lack some
-    /// classes.
+    /// (restricted thread counts, filtered workloads, failed runs) simply
+    /// lack some classes.
     pub fn try_class(&self, threads: usize, kind: WorkloadType) -> Option<ClassMetrics> {
         self.classes
             .iter()
@@ -79,12 +85,17 @@ impl PolicySweep {
 
 /// Runs `policy` over every Table-4 workload on `config` and aggregates per
 /// class. `lengths` provides the prewarm/warmup/measure cycle counts.
+///
+/// Individual workload failures land in [`PolicySweep::failures`] and are
+/// skipped by the class averages; the call itself only fails when the
+/// single-thread baselines cannot be measured (the registry benchmarks are
+/// trusted, so in practice only a broken `config` does that).
 pub fn sweep_policy(
     runner: &Runner,
     policy: &PolicyKind,
     config: &SimConfig,
     lengths: &RunSpec,
-) -> PolicySweep {
+) -> Result<PolicySweep, RunError> {
     sweep_policy_threads(runner, policy, config, lengths, &[2, 3, 4])
 }
 
@@ -98,7 +109,7 @@ pub fn sweep_policy_threads(
     config: &SimConfig,
     lengths: &RunSpec,
     thread_counts: &[usize],
-) -> PolicySweep {
+) -> Result<PolicySweep, RunError> {
     let workloads: Vec<Workload> = table4_workloads()
         .into_iter()
         .filter(|w| thread_counts.contains(&w.threads()))
@@ -119,30 +130,35 @@ pub fn sweep_policy_threads(
     let singles: Vec<Vec<f64>> = workloads
         .iter()
         .map(|w| runner.single_ipcs(w, config, lengths))
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     // Stream outcomes into per-spec scalar metrics: the heavy 36-run
-    // `RunOutcome` vector is never materialised and metric extraction
-    // overlaps the remaining simulations, but the class reduction below
-    // still sums in fixed spec order — f64 addition is not associative,
-    // and a completion-order sum would make identical sweeps differ in
-    // the last ulp across runs.
-    #[derive(Clone, Copy, Default)]
+    // result vector is never materialised and metric extraction overlaps
+    // the remaining simulations, but the class reduction below still sums
+    // in fixed spec order — f64 addition is not associative, and a
+    // completion-order sum would make identical sweeps differ in the last
+    // ulp across runs.
+    #[derive(Clone, Copy)]
     struct SpecMetrics {
         tput: f64,
         hm: f64,
         fpc: f64,
         mlp: f64,
     }
-    let mut per_spec = vec![SpecMetrics::default(); specs.len()];
-    runner.run_streaming(&specs, |i, out| {
-        per_spec[i] = SpecMetrics {
-            tput: out.throughput(),
-            hm: hmean(&out.ipcs(), &singles[i]),
-            fpc: out.result.total_fetched() as f64 / out.result.total_committed().max(1) as f64,
-            mlp: smt_metrics::workload_mlp(&out.result),
-        };
+    let mut per_spec: Vec<Option<SpecMetrics>> = vec![None; specs.len()];
+    let mut failures: Vec<(usize, RunError)> = Vec::new();
+    runner.run_streaming(&specs, |i, outcome| match outcome.into_stats() {
+        Ok(out) => {
+            per_spec[i] = Some(SpecMetrics {
+                tput: out.throughput(),
+                hm: hmean(&out.ipcs(), &singles[i]),
+                fpc: out.result.total_fetched() as f64 / out.result.total_committed().max(1) as f64,
+                mlp: smt_metrics::workload_mlp(&out.result),
+            });
+        }
+        Err(error) => failures.push((i, error)),
     });
+    failures.sort_by_key(|(i, _)| *i);
 
     let classes = thread_counts
         .iter()
@@ -152,13 +168,13 @@ pub fn sweep_policy_threads(
                 .iter()
                 .zip(&per_spec)
                 .filter(|(w, _)| w.threads() == threads && w.kind == kind)
-                .map(|(_, m)| m)
+                .filter_map(|(_, m)| m.as_ref())
                 .collect();
-            // A class with no matching workloads (partial sweeps) is
-            // omitted entirely: no 0/0 = NaN row, and no all-zero
-            // placeholder silently dragging `average()` down —
-            // `try_class` reports the absence, `class()` renders it as an
-            // empty (zero) bin.
+            // A class with no surviving workloads — partial sweeps, or
+            // every member failed — is omitted entirely: no 0/0 = NaN
+            // row, and no all-zero placeholder silently dragging
+            // `average()` down. `try_class` reports the absence,
+            // `class()` renders it as an empty (zero) bin.
             if group.is_empty() {
                 return None;
             }
@@ -175,10 +191,11 @@ pub fn sweep_policy_threads(
             ))
         })
         .collect();
-    PolicySweep {
+    Ok(PolicySweep {
         policy: policy.name().to_string(),
         classes,
-    }
+        failures,
+    })
 }
 
 /// Standard lengths for the figure sweeps (shorter than Table-3
@@ -210,6 +227,7 @@ mod tests {
         let sweep = PolicySweep {
             policy: "EMPTY".into(),
             classes: Vec::new(),
+            failures: Vec::new(),
         };
         let avg = sweep.average();
         assert_eq!(avg.throughput, 0.0);
@@ -235,6 +253,7 @@ mod tests {
                     mlp: 2.0,
                 },
             )],
+            failures: Vec::new(),
         };
         assert!(sweep.try_class(4, WorkloadType::Ilp).is_none());
         let absent = sweep.class(4, WorkloadType::Ilp);
@@ -261,8 +280,10 @@ mod tests {
             &SimConfig::baseline(2),
             &lengths,
             &[2],
-        );
+        )
+        .expect("baselines must measure");
         assert_eq!(sweep.classes.len(), 3, "three classes for one thread count");
+        assert!(sweep.failures.is_empty());
         for (_, _, m) in &sweep.classes {
             assert!(m.throughput.is_finite());
             assert!(m.hmean.is_finite());
@@ -285,8 +306,10 @@ mod tests {
             &PolicyKind::Icount,
             &SimConfig::baseline(2),
             &lengths,
-        );
+        )
+        .expect("baselines must measure");
         assert_eq!(sweep.classes.len(), 9);
+        assert!(sweep.failures.is_empty());
         let avg = sweep.average();
         assert!(avg.throughput > 0.0);
         let m = sweep.class(2, WorkloadType::Mem);

@@ -1,6 +1,7 @@
 //! Paper Table 3: per-benchmark L2 miss rates and the MEM/ILP split
 //! (the calibration target of the synthetic workload substrate).
 
+use crate::fault::RunError;
 use crate::runner::{PolicyKind, RunSpec, Runner};
 use crate::tables::TextTable;
 use smt_workloads::spec;
@@ -27,7 +28,7 @@ pub struct BenchCalibration {
 /// Runs every benchmark single-threaded and measures its cache behaviour.
 /// Uses longer runs than the policy experiments so the L2-resident working
 /// sets reach steady state.
-pub fn run(runner: &Runner) -> Vec<BenchCalibration> {
+pub fn run(runner: &Runner) -> Result<Vec<BenchCalibration>, RunError> {
     let specs: Vec<RunSpec> = spec::names()
         .iter()
         .map(|name| {
@@ -38,8 +39,8 @@ pub fn run(runner: &Runner) -> Vec<BenchCalibration> {
             s
         })
         .collect();
-    let outs = runner.run_all(&specs);
-    spec::names()
+    let outs = runner.run_all(&specs)?;
+    Ok(spec::names()
         .iter()
         .zip(outs)
         .map(|(name, out)| {
@@ -55,7 +56,7 @@ pub fn run(runner: &Runner) -> Vec<BenchCalibration> {
                 measured_mem: m.l2_miss_rate() * 100.0 >= 1.0,
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Formats the calibration as paper-vs-measured.
@@ -101,7 +102,7 @@ mod tests {
         mcf.prewarm_insts = 300_000;
         mcf.warmup_cycles = 20_000;
         mcf.measure_cycles = 150_000;
-        let out = runner.run(&mcf);
+        let out = runner.run(&mcf).expect("known bench");
         assert!(
             out.mem[0].l2_miss_rate() > 0.01,
             "mcf L2 miss rate {:.3} should exceed 1%",
@@ -112,7 +113,7 @@ mod tests {
         gz.prewarm_insts = 300_000;
         gz.warmup_cycles = 20_000;
         gz.measure_cycles = 150_000;
-        let out = runner.run(&gz);
+        let out = runner.run(&gz).expect("known bench");
         assert!(
             out.mem[0].l2_miss_rate() < 0.01,
             "gzip L2 miss rate {:.3} should be below 1%",

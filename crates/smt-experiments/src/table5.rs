@@ -91,25 +91,33 @@ pub fn run(cycles_per_workload: u64) -> Vec<(WorkloadType, PhaseDistribution)> {
         .collect()
 }
 
-/// Formats measured-vs-paper distributions.
+/// The paper's Table-5 distribution for one workload class, if the paper
+/// reports it (the paper covers exactly ILP/MIX/MEM).
+pub fn paper_row(kind: WorkloadType) -> Option<PhaseDistribution> {
+    PAPER.iter().find(|(k, _)| *k == kind).map(|(_, p)| *p)
+}
+
+/// Formats measured-vs-paper distributions. A class the paper does not
+/// report renders its paper columns as explicit "—" markers instead of
+/// dropping the measured row or dying on the lookup.
 pub fn report(rows: &[(WorkloadType, PhaseDistribution)]) -> TextTable {
     let mut t = TextTable::new(&[
         "workload", "SS ours", "SS paper", "SF ours", "SF paper", "FF ours", "FF paper",
     ]);
     for (kind, d) in rows {
-        let paper = PAPER
-            .iter()
-            .find(|(k, _)| k == kind)
-            .map(|(_, p)| *p)
-            .expect("paper row");
+        let fmt_paper = |f: fn(&PhaseDistribution) -> f64| {
+            paper_row(*kind)
+                .map(|p| format!("{:.1}", f(&p)))
+                .unwrap_or_else(|| "—".to_string())
+        };
         t.row_owned(vec![
             kind.to_string(),
             format!("{:.1}", d.slow_slow),
-            format!("{:.1}", paper.slow_slow),
+            fmt_paper(|p| p.slow_slow),
             format!("{:.1}", d.mixed),
-            format!("{:.1}", paper.mixed),
+            fmt_paper(|p| p.mixed),
             format!("{:.1}", d.fast_fast),
-            format!("{:.1}", paper.fast_fast),
+            fmt_paper(|p| p.fast_fast),
         ]);
     }
     t
@@ -124,7 +132,12 @@ mod tests {
     #[test]
     fn phase_ordering_matches_paper() {
         let rows = run(15_000);
-        let get = |k: WorkloadType| rows.iter().find(|(kind, _)| *kind == k).unwrap().1;
+        let get = |k: WorkloadType| {
+            rows.iter()
+                .find(|(kind, _)| *kind == k)
+                .unwrap_or_else(|| panic!("run() must cover {k}"))
+                .1
+        };
         let ilp = get(WorkloadType::Ilp);
         let mem = get(WorkloadType::Mem);
         assert!(

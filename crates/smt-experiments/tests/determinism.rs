@@ -168,7 +168,7 @@ fn session_runner_matches_fresh_sequential_runs() {
     // One session running the whole queue back to back.
     let mut session = SimSession::new();
     for (spec, want) in specs.iter().zip(&fresh) {
-        let got = session.run(spec);
+        let got = session.run(spec).expect("known bench");
         assert_eq!(
             &got.result, want,
             "session reuse drifted on {}",
@@ -178,19 +178,70 @@ fn session_runner_matches_fresh_sequential_runs() {
 
     // The parallel work-queue paths (per-worker sessions).
     let runner = Runner::new();
-    for (out, want) in runner.run_all(&specs).iter().zip(&fresh) {
+    let all = runner.run_all(&specs).expect("known benches");
+    for (out, want) in all.iter().zip(&fresh) {
         assert_eq!(&out.result, want, "run_all drifted on {}", want.policy);
     }
     let mut streamed: Vec<Option<smt_experiments::RunOutcome>> =
         specs.iter().map(|_| None).collect();
     runner.run_streaming(&specs, |i, out| streamed[i] = Some(out));
     for (out, want) in streamed.iter().zip(&fresh) {
+        let stats = out
+            .as_ref()
+            .expect("sink covered every spec")
+            .stats()
+            .expect("run completed");
         assert_eq!(
-            &out.as_ref().expect("sink covered every spec").result,
-            want,
+            &stats.result, want,
             "run_streaming drifted on {}",
             want.policy
         );
+    }
+}
+
+/// Retry determinism: a run that panics on its first attempt and is
+/// retried must end bit-identical to a run that never faulted. The retry
+/// path rebuilds the worker's `SimSession` from scratch after the caught
+/// panic, so any state leak from the poisoned attempt would show up here
+/// as golden-level drift.
+#[test]
+fn retried_runs_are_bit_identical_to_first_attempt_runs() {
+    use smt_experiments::chaos::silence_chaos_panics;
+    use smt_experiments::{EngineOptions, InjectedFault, RetryPolicy, RunOutcome};
+    silence_chaos_panics();
+
+    let mut clean = RunSpec::new(&["gzip", "mcf"], PolicyKind::dcra_for_latency(300));
+    clean.prewarm_insts = 30_000;
+    clean.warmup_cycles = 2_000;
+    clean.measure_cycles = 15_000;
+    let mut faulty = clean.clone();
+    faulty.fault = Some(InjectedFault::PanicAtCycle {
+        at_cycle: 500,
+        fail_attempts: 1,
+    });
+
+    let runner = Runner::new();
+    let reference = runner.run(&clean).expect("known bench");
+
+    let opts = EngineOptions {
+        retry: RetryPolicy::immediate(2),
+        ..EngineOptions::default()
+    };
+    let outcomes = std::sync::Mutex::new(vec![None; 1]);
+    let report = runner.run_isolated(std::slice::from_ref(&faulty), 1, &opts, |i, out| {
+        outcomes.lock().unwrap()[i] = Some(out);
+    });
+    assert_eq!(report.completed, 1, "retried run must complete");
+    let outcome = outcomes.lock().unwrap()[0].take().expect("sink delivered");
+    match outcome {
+        RunOutcome::Completed { stats, attempts } => {
+            assert_eq!(attempts, 2, "first attempt must have panicked");
+            assert_eq!(
+                stats, reference,
+                "retried run drifted from the fault-free run"
+            );
+        }
+        RunOutcome::Failed { error, .. } => panic!("retry did not recover: {error}"),
     }
 }
 
@@ -280,8 +331,8 @@ fn scenario_mix_session_reuse_matches_fresh_simulator() {
         sim.run_cycles(spec.measure_cycles);
         let fresh = sim.result();
         // First run primes the session; second proves reset-reuse clean.
-        session.run(&spec);
-        let reused = session.run(&spec);
+        session.run(&spec).expect("valid mix");
+        let reused = session.run(&spec).expect("valid mix");
         assert_eq!(reused.result, fresh, "{}: session reuse drifted", mix.id);
     }
 }

@@ -94,6 +94,35 @@ pub fn weighted_speedup(multi_ipcs: &[f64], single_ipcs: &[f64]) -> f64 {
     sp.iter().sum::<f64>() / sp.len() as f64
 }
 
+/// Non-panicking [`speedups`]: `None` on mismatched lengths or a
+/// non-positive baseline IPC. For aggregating over partially-failed
+/// sweeps, where a missing or corrupt baseline must skip the row rather
+/// than abort the report.
+pub fn try_speedups(multi_ipcs: &[f64], single_ipcs: &[f64]) -> Option<Vec<f64>> {
+    if multi_ipcs.len() != single_ipcs.len() {
+        return None;
+    }
+    multi_ipcs
+        .iter()
+        .zip(single_ipcs)
+        .map(|(&m, &s)| (s > 0.0).then(|| m / s))
+        .collect()
+}
+
+/// Non-panicking [`hmean`]: `None` exactly when [`try_speedups`] fails;
+/// otherwise identical to [`hmean`] (including the guarded zeros).
+pub fn try_hmean(multi_ipcs: &[f64], single_ipcs: &[f64]) -> Option<f64> {
+    try_speedups(multi_ipcs, single_ipcs)?;
+    Some(hmean(multi_ipcs, single_ipcs))
+}
+
+/// Non-panicking [`weighted_speedup`]: `None` exactly when
+/// [`try_speedups`] fails.
+pub fn try_weighted_speedup(multi_ipcs: &[f64], single_ipcs: &[f64]) -> Option<f64> {
+    try_speedups(multi_ipcs, single_ipcs)?;
+    Some(weighted_speedup(multi_ipcs, single_ipcs))
+}
+
 /// Relative improvement of `ours` over `baseline`, in percent.
 pub fn improvement_pct(ours: f64, baseline: f64) -> f64 {
     if baseline == 0.0 {
@@ -163,6 +192,27 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_baseline_rejected() {
         let _ = speedups(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn try_variants_reject_instead_of_panicking() {
+        assert_eq!(try_speedups(&[1.0], &[0.0]), None, "zero baseline");
+        assert_eq!(try_speedups(&[1.0, 2.0], &[2.0]), None, "length mismatch");
+        assert_eq!(try_hmean(&[1.0], &[0.0]), None);
+        assert_eq!(try_weighted_speedup(&[1.0, 2.0], &[2.0]), None);
+        // On valid input they agree exactly with the panicking originals.
+        let (multi, single) = ([1.2, 0.3], [2.4, 0.6]);
+        assert_eq!(
+            try_speedups(&multi, &single),
+            Some(speedups(&multi, &single))
+        );
+        assert_eq!(try_hmean(&multi, &single), Some(hmean(&multi, &single)));
+        assert_eq!(
+            try_weighted_speedup(&multi, &single),
+            Some(weighted_speedup(&multi, &single))
+        );
+        // Guarded zeros survive: empty input is valid, scores 0.
+        assert_eq!(try_hmean(&[], &[]), Some(0.0));
     }
 
     #[test]

@@ -357,6 +357,42 @@ impl Simulator {
         }
     }
 
+    /// [`Self::run_cycles`] under a
+    /// [`CommitWatchdog`](crate::watch::CommitWatchdog): identical stepping
+    /// (step + fast-forward, so in-budget runs are bit-identical to
+    /// [`Self::run_cycles`] — the budget suite pins this), but every
+    /// executed cycle is reported to the watchdog, which converts a cycle
+    /// cap or commit-progress violation into an early
+    /// [`BudgetBreach`](crate::watch::BudgetBreach) return. On breach the
+    /// simulator is left in a consistent mid-run state (the breach is
+    /// detected between cycles, never inside one); the caller decides
+    /// whether to salvage partial statistics or discard the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first breach the watchdog detects.
+    pub fn run_cycles_budgeted(
+        &mut self,
+        n: u64,
+        watch: &mut crate::watch::CommitWatchdog,
+    ) -> Result<(), crate::watch::BudgetBreach> {
+        let end = self.now + n;
+        while self.now < end {
+            self.step();
+            self.fast_forward(end);
+            watch.observe(self.now, || self.committed_total())?;
+        }
+        Ok(())
+    }
+
+    /// Total instructions committed in the current measurement interval
+    /// (since construction, [`Self::reset`] or [`Self::reset_stats`]),
+    /// summed over threads. The commit-progress signal the
+    /// [`CommitWatchdog`](crate::watch::CommitWatchdog) samples.
+    pub fn committed_total(&self) -> u64 {
+        self.stats.iter().map(|s| s.committed).sum()
+    }
+
     /// Reference implementation of [`Self::run_cycles`]: one [`Self::step`]
     /// per cycle, never fast-forwarding. The equivalence tests run both
     /// paths and require identical output; keep it around for debugging

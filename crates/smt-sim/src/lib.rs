@@ -52,6 +52,6 @@ mod stats;
 mod thread;
 pub mod watch;
 
-pub use config::SimConfig;
+pub use config::{RunBudget, SimConfig};
 pub use core::{Simulator, StageProfile};
 pub use stats::{SimResult, ThreadStats};

@@ -31,7 +31,11 @@ fn main() {
         let lengths = RunSpec::new(&benches, PolicyKind::Icount).with_config(config.clone());
         let singles: Vec<f64> = benches
             .iter()
-            .map(|b| runner.single_ipc(b, &config, &lengths))
+            .map(|b| {
+                runner
+                    .single_ipc(b, &config, &lengths)
+                    .expect("known bench")
+            })
             .collect();
 
         let run_with = |sharing: SharingConfig| {
@@ -43,7 +47,7 @@ fn main() {
                 }),
             )
             .with_config(config.clone());
-            let out = runner.run(&spec);
+            let out = runner.run(&spec).expect("known bench");
             hmean(&out.ipcs(), &singles)
         };
 

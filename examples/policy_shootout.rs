@@ -18,10 +18,18 @@ fn main() {
     let runner = Runner::new();
     let lengths = RunSpec::new(&benches, PolicyKind::Icount);
 
-    // Single-thread baselines for the fairness metric.
+    // Single-thread baselines for the fairness metric. Benchmark names
+    // come from the command line, so surface the typed error cleanly.
     let singles: Vec<f64> = benches
         .iter()
-        .map(|b| runner.single_ipc(b, &lengths.config, &lengths))
+        .map(|b| {
+            runner
+                .single_ipc(b, &lengths.config, &lengths)
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+        })
         .collect();
     println!("workload: {}", benches.join("+"));
     println!(
@@ -51,7 +59,10 @@ fn main() {
     ];
     for policy in policies {
         let spec = RunSpec::new(&benches, policy.clone());
-        let out = runner.run(&spec);
+        let out = runner.run(&spec).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
         let ipcs = out.ipcs();
         println!(
             "{:<8} {:>6.3} {:>6.3}  {}",

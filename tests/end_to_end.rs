@@ -72,7 +72,9 @@ fn every_policy_runs_every_thread_count() {
     for policy in &policies {
         for wl in &workloads {
             let benches: Vec<&str> = wl.to_vec();
-            let out = runner.run(&short(&benches, policy.clone()));
+            let out = runner
+                .run(&short(&benches, policy.clone()))
+                .expect("known bench");
             assert!(
                 out.result.total_committed() > 1_000,
                 "{} on {benches:?} made no progress",
@@ -94,8 +96,8 @@ fn every_policy_runs_every_thread_count() {
 fn simulation_is_deterministic_across_policy_instances() {
     let runner = Runner::new();
     let spec = short(&["art", "gcc"], PolicyKind::Dcra(DcraConfig::default()));
-    let a = runner.run(&spec);
-    let b = runner.run(&spec);
+    let a = runner.run(&spec).expect("known bench");
+    let b = runner.run(&spec).expect("known bench");
     assert_eq!(a.result, b.result);
 }
 
@@ -106,8 +108,8 @@ fn seeds_change_results() {
     let mut s2 = s1.clone();
     s1.seed = 1;
     s2.seed = 2;
-    let a = runner.run(&s1);
-    let b = runner.run(&s2);
+    let a = runner.run(&s1).expect("known bench");
+    let b = runner.run(&s2).expect("known bench");
     assert_ne!(
         a.result.total_committed(),
         b.result.total_committed(),
@@ -123,7 +125,9 @@ fn throughput_never_exceeds_machine_width() {
         vec!["eon", "crafty", "gzip", "bzip2"],
     ] {
         let benches: Vec<&str> = wl.to_vec();
-        let out = runner.run(&short(&benches, PolicyKind::Icount));
+        let out = runner
+            .run(&short(&benches, PolicyKind::Icount))
+            .expect("known bench");
         assert!(out.throughput() <= 8.0, "IPC above commit width");
     }
 }
@@ -153,8 +157,12 @@ fn counters_remain_consistent_under_all_policies() {
 fn flush_policies_refetch_more_than_stall_policies() {
     let runner = Runner::new();
     let wl = ["swim", "mcf"];
-    let flush = runner.run(&short(&wl, PolicyKind::Flush));
-    let icount = runner.run(&short(&wl, PolicyKind::Icount));
+    let flush = runner
+        .run(&short(&wl, PolicyKind::Flush))
+        .expect("known bench");
+    let icount = runner
+        .run(&short(&wl, PolicyKind::Icount))
+        .expect("known bench");
     let flush_rate =
         flush.result.total_fetched() as f64 / flush.result.total_committed().max(1) as f64;
     let icount_rate =
@@ -174,10 +182,18 @@ fn dcra_beats_static_allocation_on_a_mem_workload() {
     let lengths = short(&wl, PolicyKind::Icount);
     let singles: Vec<f64> = wl
         .iter()
-        .map(|b| runner.single_ipc(b, &lengths.config, &lengths))
+        .map(|b| {
+            runner
+                .single_ipc(b, &lengths.config, &lengths)
+                .expect("known bench")
+        })
         .collect();
-    let dcra = runner.run(&short(&wl, PolicyKind::dcra_for_latency(300)));
-    let sra = runner.run(&short(&wl, PolicyKind::Sra));
+    let dcra = runner
+        .run(&short(&wl, PolicyKind::dcra_for_latency(300)))
+        .expect("known bench");
+    let sra = runner
+        .run(&short(&wl, PolicyKind::Sra))
+        .expect("known bench");
     let h_dcra = hmean(&dcra.ipcs(), &singles);
     let h_sra = hmean(&sra.ipcs(), &singles);
     assert!(
@@ -220,7 +236,7 @@ fn all_table4_workloads_are_runnable() {
         s.prewarm_insts = 20_000;
         s.warmup_cycles = 1_000;
         s.measure_cycles = 10_000;
-        let out = runner.run(&s);
+        let out = runner.run(&s).expect("known bench");
         assert!(out.result.total_committed() > 0, "{w} did not progress");
     }
 }
@@ -262,13 +278,13 @@ fn family_sweeps_are_invariant_to_worker_count() {
     let reference: Vec<_> = runner
         .run_all_with_workers(&specs, 1)
         .into_iter()
-        .map(|o| o.result)
+        .map(|o| o.into_stats().expect("scenario mixes run clean").result)
         .collect();
     for workers in [2usize, 4] {
         let outcomes: Vec<_> = runner
             .run_all_with_workers(&specs, workers)
             .into_iter()
-            .map(|o| o.result)
+            .map(|o| o.into_stats().expect("scenario mixes run clean").result)
             .collect();
         assert_eq!(
             outcomes, reference,
