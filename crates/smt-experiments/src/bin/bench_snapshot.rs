@@ -27,7 +27,7 @@
 use smt_experiments::scenarios::{policy_for_target, specs_for_family, ScenarioLengths};
 use smt_experiments::{PolicyKind, RunSpec, SimSession};
 use smt_sim::{SimConfig, Simulator, StageProfile};
-use smt_workloads::{spec, FamilySpec, PolicyTarget, ScenarioFamily};
+use smt_workloads::{spec, workloads_of, FamilySpec, PolicyTarget, ScenarioFamily, WorkloadType};
 use std::time::Instant;
 
 /// The 4-thread mix the `policies` Criterion bench and this snapshot share.
@@ -64,10 +64,6 @@ fn prepared_mix(policy: &PolicyKind, benches: &[&str]) -> Simulator {
     sim
 }
 
-fn prepared(policy: &PolicyKind) -> Simulator {
-    prepared_mix(policy, &BENCHES)
-}
-
 /// Median wall-clock cycles/second over `reps` chunks of `cycles` each.
 fn measure_mix(policy: &PolicyKind, benches: &[&str], cycles: u64, reps: usize) -> f64 {
     let mut sim = prepared_mix(policy, benches);
@@ -92,13 +88,71 @@ fn measure(policy: &PolicyKind, cycles: u64, reps: usize) -> f64 {
 /// [`StageProfile`], so the snapshot records where the cycle loop spends
 /// its time (and future PRs can see which stage an optimisation moved).
 /// `skipped` counts the cycles covered by fast-forward jumps.
+///
+/// Measured in the shape production sweeps run — one simulator reset
+/// across all nine policies over the same workload (since PR 8 that shape
+/// replays the trace store's retained blocks instead of regenerating, so a
+/// per-policy fresh simulator would misattribute generation cost that the
+/// fig4–fig7 sweeps never pay).
 fn measure_stage_breakdown(cycles: u64) -> StageProfile {
+    let profiles: Vec<_> = BENCHES
+        .iter()
+        .map(|b| spec::profile(b).expect("known benchmark"))
+        .collect();
     let mut profile = StageProfile::default();
+    let mut sim = Simulator::new(
+        SimConfig::baseline(profiles.len()),
+        &profiles,
+        policies()[0].build(),
+        42,
+    );
     for policy in policies() {
-        let mut sim = prepared(&policy);
+        sim.reset(&profiles, policy.build(), 42);
+        sim.prewarm(20_000);
+        sim.run_cycles(2_000);
         sim.run_cycles_profiled(cycles, &mut profile);
     }
     profile
+}
+
+/// Mean sweep throughput over the 12 four-thread Table-4 mixes (ILP4,
+/// MIX4, MEM4): per mix, one simulator is reset across all nine policies —
+/// the fig4–fig7 pattern, and the pattern the trace store's block reuse
+/// targets — and the simulated-cycles-per-second over the whole sweep is
+/// averaged across mixes. This is the paired-A/B protocol PR 8's
+/// acceptance was measured with (`ab_table4`).
+fn measure_table4_sweep(cycles: u64) -> f64 {
+    let mixes: Vec<_> = WorkloadType::ALL
+        .into_iter()
+        .flat_map(|kind| workloads_of(kind, 4))
+        .collect();
+    let mut sum = 0.0;
+    for w in &mixes {
+        let profiles: Vec<_> = w
+            .benchmarks
+            .iter()
+            .map(|b| spec::profile(b).expect("known benchmark"))
+            .collect();
+        let mut sim = Simulator::new(
+            SimConfig::baseline(profiles.len()),
+            &profiles,
+            policies()[0].build(),
+            42,
+        );
+        let mut simulated = 0u64;
+        let mut elapsed = 0.0f64;
+        for policy in policies() {
+            sim.reset(&profiles, policy.build(), 42);
+            sim.prewarm(20_000);
+            sim.run_cycles(2_000);
+            let t0 = Instant::now();
+            sim.run_cycles(cycles);
+            elapsed += t0.elapsed().as_secs_f64();
+            simulated += cycles;
+        }
+        sum += simulated as f64 / elapsed;
+    }
+    sum / mixes.len() as f64
 }
 
 /// Measures sweep setup cost: `runs`-run queues of *very short*
@@ -313,6 +367,53 @@ fn validate_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The stage-attribution keys every *freshly measured* snapshot's
+/// `stage_pct` map must carry (mirrors `StageProfile::shares`). A missing
+/// key means the tool dropped a stage — the before/after comparisons this
+/// file exists for would silently misattribute time, so both `--check`
+/// and the append path fail loudly instead.
+const STAGE_KEYS: [&str; 8] = [
+    "policy", "events", "commit", "issue", "dispatch", "fetch", "forward", "other",
+];
+
+/// The keys required of *historical* snapshots: stage attribution shipped
+/// in PR 4, but `forward` only exists since PR 5's fast-forward stage, so
+/// the PR 4-era entry legitimately lacks it.
+const STAGE_KEYS_HISTORIC: [&str; 7] = [
+    "policy", "events", "commit", "issue", "dispatch", "fetch", "other",
+];
+
+/// Validates that a snapshot line carrying a `stage_pct` object has all
+/// of `required` present (lines without `stage_pct` predate stage
+/// attribution and pass).
+fn validate_stage_keys(snapshot: &str, required: &[&str]) -> Result<(), String> {
+    let Some(start) = snapshot.find("\"stage_pct\"") else {
+        return Ok(()); // pre-PR-4 snapshots have no stage attribution
+    };
+    let rest = &snapshot[start..];
+    let open = rest
+        .find('{')
+        .ok_or_else(|| "stage_pct is not an object".to_string())?;
+    // The map holds flat numeric values, so the first `}` closes it.
+    let close = rest[open..]
+        .find('}')
+        .ok_or_else(|| "unterminated stage_pct object".to_string())?;
+    let body = &rest[open..open + close + 1];
+    let missing: Vec<&str> = required
+        .iter()
+        .filter(|k| !body.contains(&format!("\"{k}\":")))
+        .copied()
+        .collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "stage_pct is missing key(s): {}",
+            missing.join(", ")
+        ))
+    }
+}
+
 /// Strips characters that would need JSON escaping; host strings are
 /// embedded in hand-built JSON lines.
 fn json_safe(s: &str) -> String {
@@ -375,7 +476,14 @@ fn main() {
             eprintln!("{path} is not valid JSON: {e}");
             std::process::exit(1);
         }
-        println!("{path}: valid JSON");
+        for line in existing_snapshots(&path) {
+            if let Err(e) = validate_stage_keys(&line, &STAGE_KEYS_HISTORIC) {
+                let label = line.split('"').nth(3).unwrap_or("<unlabelled>").to_string();
+                eprintln!("{path}: snapshot \"{label}\": {e}");
+                std::process::exit(1);
+            }
+        }
+        println!("{path}: valid JSON, stage_pct keys complete");
         return;
     }
     let label = flag("--label").unwrap_or_else(|| "current".to_string());
@@ -416,6 +524,11 @@ fn main() {
     eprintln!(
         "{:>8}: {session_rate:>12.1} runs/s reused session, {fresh_rate:.1} fresh",
         "sweep"
+    );
+    let table4_rate = measure_table4_sweep(if smoke { 5_000 } else { 100_000 });
+    eprintln!(
+        "{:>8}: {table4_rate:>12.0} cycles/s (Table-4 4-thread sweep)",
+        "table4"
     );
     let profile = measure_stage_breakdown(if smoke { 2_000 } else { 30_000 });
     // `stage_pct` stays a pure share map (sums to ~100); the skipped-cycle
@@ -463,6 +576,7 @@ fn main() {
          \"host\": {{ \"cpu\": \"{host_cpu}\", \"governor\": \"{host_governor}\" }}, \
          \"mean_cycles_per_sec\": {mean:.0}, \
          \"mem_mean_cycles_per_sec\": {mem_mean:.0}, \
+         \"table4_sweep_cycles_per_sec\": {table4_rate:.0}, \
          \"sweep_session_runs_per_sec\": {session_rate:.1}, \
          \"sweep_fresh_runs_per_sec\": {fresh_rate:.1}, \
          \"skipped_cycles_pct\": {skipped_pct:.1}, \
@@ -476,6 +590,13 @@ fn main() {
         fields.join(", "),
         mem_fields.join(", ")
     );
+    // Self-check the freshly built snapshot before it touches the file:
+    // a stage renamed or dropped upstream must fail here, not corrupt the
+    // trajectory.
+    if let Err(e) = validate_stage_keys(&snapshot, &STAGE_KEYS) {
+        eprintln!("refusing to record snapshot: {e}");
+        std::process::exit(1);
+    }
     let mut lines = existing_snapshots(&out);
     lines.retain(|l| !l.contains(&format!("\"label\": \"{label}\"")));
     lines.push(snapshot);

@@ -221,7 +221,7 @@ impl Policy for ChaosPolicy {
         self.inner.may_dispatch(t, queue, dest, view)
     }
 
-    fn on_fetch_inst(&mut self, t: smt_isa::ThreadId, inst: &smt_isa::DecodedInst) {
+    fn on_fetch_inst(&mut self, t: smt_isa::ThreadId, inst: &smt_isa::PackedInst) {
         self.inner.on_fetch_inst(t, inst);
     }
 
@@ -250,7 +250,7 @@ impl Policy for ChaosPolicy {
         self.inner.on_load_complete(t, pc, l1_missed);
     }
 
-    fn on_squash_inst(&mut self, t: smt_isa::ThreadId, inst: &smt_isa::DecodedInst) {
+    fn on_squash_inst(&mut self, t: smt_isa::ThreadId, inst: &smt_isa::PackedInst) {
         self.inner.on_squash_inst(t, inst);
     }
 

@@ -6,7 +6,8 @@
 //! issue-queue each class occupies ([`QueueKind`]), the register classes
 //! ([`RegClass`]), the five shared resources controlled by allocation
 //! policies ([`ResourceKind`]) and the decoded-instruction record produced by
-//! the trace generators ([`DecodedInst`]).
+//! the trace generators ([`DecodedInst`]), together with its 16-byte packed
+//! hot-path form ([`PackedInst`]).
 //!
 //! # Examples
 //!
@@ -21,9 +22,11 @@
 #![warn(missing_docs)]
 
 mod inst;
+mod packed;
 mod thread;
 
 pub use inst::{BranchInfo, BranchKind, DecodedInst, DecodedInstBuilder, InstClass, MemAccess};
+pub use packed::PackedInst;
 pub use thread::ThreadId;
 
 use serde::{Deserialize, Serialize};

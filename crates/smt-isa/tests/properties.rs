@@ -2,11 +2,59 @@
 
 use proptest::prelude::*;
 use smt_isa::{
-    BranchKind, DecodedInst, InstClass, PerResource, QueueKind, RegClass, ResourceKind, ThreadId,
+    BranchKind, DecodedInst, InstClass, PackedInst, PerResource, QueueKind, RegClass, ResourceKind,
+    ThreadId,
 };
 
 fn any_class() -> impl Strategy<Value = InstClass> {
     (0..InstClass::ALL.len()).prop_map(|i| InstClass::ALL[i])
+}
+
+fn any_kind() -> impl Strategy<Value = BranchKind> {
+    (0..4u8).prop_map(|i| {
+        [
+            BranchKind::Conditional,
+            BranchKind::Jump,
+            BranchKind::Call,
+            BranchKind::Return,
+        ][usize::from(i)]
+    })
+}
+
+/// Any builder-constructible decoded record: payloads are attached exactly
+/// where the builder's class invariants require them (mem on loads/stores,
+/// branch info on branches).
+fn any_decoded() -> impl Strategy<Value = DecodedInst> {
+    (
+        (
+            any_class(),
+            1u64..u64::MAX / 2,
+            0usize..3,
+            proptest::collection::vec(1u32..512, 0..3),
+        ),
+        (
+            (0u64..u64::MAX / 2, 1u8..9),
+            (any_kind(), any::<bool>(), 0u64..u64::MAX / 2),
+        ),
+    )
+        .prop_map(
+            |((class, pc, dest, deps), ((addr, size), (kind, taken, target)))| {
+                let mut b = DecodedInst::builder(class, pc);
+                if dest > 0 {
+                    b = b.dest(RegClass::ALL[dest - 1]);
+                }
+                for d in deps {
+                    b = b.dep(d);
+                }
+                if class.is_mem() {
+                    b = b.mem(addr, size);
+                }
+                if class == InstClass::Branch {
+                    b = b.branch(kind, taken, target);
+                }
+                b.build()
+            },
+        )
 }
 
 proptest! {
@@ -58,6 +106,31 @@ proptest! {
     #[test]
     fn thread_id_round_trip(i in 0usize..ThreadId::MAX_THREADS) {
         prop_assert_eq!(ThreadId::new(i).index(), i);
+    }
+
+    /// Packed records are a lossless re-encoding of every
+    /// builder-constructible decoded record: `pack` then `unpack` (with
+    /// the sidecar payloads handed back) reproduces the input exactly,
+    /// and every packed accessor agrees with the decoded field it mirrors.
+    #[test]
+    fn packed_round_trips_builder_records(d in any_decoded(), aux in 0u16..u16::MAX) {
+        let p = PackedInst::pack(&d, aux);
+        prop_assert_eq!(p.unpack(d.mem, d.branch), d.clone());
+        prop_assert_eq!(p.pc, d.pc);
+        prop_assert_eq!(p.class(), d.class);
+        prop_assert_eq!(p.dest(), d.dest);
+        prop_assert_eq!(p.aux(), aux);
+        prop_assert_eq!(p.has_mem(), d.mem.is_some());
+        prop_assert_eq!(p.has_branch(), d.branch.is_some());
+        prop_assert_eq!(p.branch_kind(), d.branch.map(|b| b.kind));
+        prop_assert_eq!(p.is_cond_branch(), d.is_cond_branch());
+        if let Some(b) = d.branch {
+            prop_assert_eq!(p.taken(), b.taken);
+        }
+        let dists = p.dep_dists();
+        for (slot, dep) in d.deps().iter().enumerate() {
+            prop_assert_eq!(u32::from(dists[slot]), dep.unwrap_or(0));
+        }
     }
 
     /// Branch info round trips through the builder.

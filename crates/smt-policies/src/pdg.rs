@@ -2,7 +2,7 @@
 
 use crate::icount::icount_order_into;
 use fxhash::FxHashMap;
-use smt_isa::{DecodedInst, InstClass, ThreadId};
+use smt_isa::{InstClass, PackedInst, ThreadId};
 use smt_policy_core::{CycleView, Policy};
 
 /// PDG stalls a thread as soon as a load *predicted* to miss the L1 is
@@ -87,8 +87,8 @@ impl Policy for PredictiveDataGating {
         self.predicted_inflight[t.index()] == 0 && view.l1d_pending(t) == 0
     }
 
-    fn on_fetch_inst(&mut self, t: ThreadId, inst: &DecodedInst) {
-        if inst.class != InstClass::Load {
+    fn on_fetch_inst(&mut self, t: ThreadId, inst: &PackedInst) {
+        if inst.class() != InstClass::Load {
             return;
         }
         self.ensure(t.index() + 1);
@@ -126,8 +126,8 @@ impl Policy for PredictiveDataGating {
         true
     }
 
-    fn on_squash_inst(&mut self, t: ThreadId, inst: &DecodedInst) {
-        if inst.class == InstClass::Load {
+    fn on_squash_inst(&mut self, t: ThreadId, inst: &PackedInst) {
+        if inst.class() == InstClass::Load {
             self.ensure(t.index() + 1);
             self.release(t.index(), inst.pc);
         }
@@ -140,11 +140,12 @@ mod tests {
     use smt_isa::{PerResource, RegClass};
     use smt_policy_core::ThreadView;
 
-    fn load(pc: u64) -> DecodedInst {
-        DecodedInst::builder(InstClass::Load, pc)
+    fn load(pc: u64) -> PackedInst {
+        let decoded = smt_isa::DecodedInst::builder(InstClass::Load, pc)
             .dest(RegClass::Int)
             .mem(0x1000, 8)
-            .build()
+            .build();
+        PackedInst::pack(&decoded, 0)
     }
 
     fn view(n: usize) -> CycleView {

@@ -29,7 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use smt_isa::{DecodedInst, PerResource, QueueKind, RegClass, ResourceKind, ThreadId};
+use smt_isa::{PackedInst, PerResource, QueueKind, RegClass, ResourceKind, ThreadId};
 use smt_mem::HitLevel;
 
 /// Per-thread state visible to policies each cycle, in record form.
@@ -326,8 +326,10 @@ pub trait Policy {
     }
 
     /// Notification: thread `t` fetched `inst` (PDG trains its miss
-    /// predictor here).
-    fn on_fetch_inst(&mut self, _t: ThreadId, _inst: &DecodedInst) {}
+    /// predictor here). The record is the 16-byte packed hot core — class,
+    /// pc, dest and dependence deltas; cold mem/branch payloads stay in
+    /// the trace store's sidecar lanes and are not part of this view.
+    fn on_fetch_inst(&mut self, _t: ThreadId, _inst: &PackedInst) {}
 
     /// Notification: thread `t` dispatched an instruction into `queue`,
     /// allocating a `dest`-class rename register if `Some` (DCRA resets its
@@ -357,7 +359,7 @@ pub trait Policy {
     /// Notification: an in-flight instruction of thread `t` was squashed
     /// (branch misprediction or policy flush). Lets stateful policies
     /// release bookkeeping tied to the instruction.
-    fn on_squash_inst(&mut self, _t: ThreadId, _inst: &DecodedInst) {}
+    fn on_squash_inst(&mut self, _t: ThreadId, _inst: &PackedInst) {}
 
     /// `true` if the policy reads the [`CycleView`] in
     /// [`Policy::may_dispatch`]. Allocation policies (SRA, DCRA) override
@@ -390,7 +392,7 @@ pub trait Policy {
     }
 
     /// `true` if the policy consumes [`Policy::on_squash_inst`]. The
-    /// simulator skips the decoded-record lookup for every squashed
+    /// simulator skips the packed-record lookup for every squashed
     /// instruction when the notification would be a no-op (squash rates
     /// run at roughly half of fetch, so this is a measurable hot-path
     /// saving); override alongside `on_squash_inst`.

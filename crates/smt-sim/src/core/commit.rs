@@ -77,7 +77,6 @@ impl Simulator {
                 }
             }
             th.advance_base_by(u64::from(take));
-            th.retire_buffer(base + u64::from(take) - 1);
             self.rob_used -= take;
             self.regs_used[0] -= regs_freed[0];
             self.regs_used[1] -= regs_freed[1];

@@ -65,7 +65,7 @@ impl Simulator {
         let t = ThreadId::new(tid);
         // One I-cache access per fetch block.
         let head_seq = self.threads[tid].next_fetch;
-        let first_pc = self.threads[tid].inst_at_ref(head_seq).pc;
+        let first_pc = self.threads[tid].packed_at(head_seq).pc;
         let line = first_pc >> 6;
         if self.threads[tid].pending_inst_fill == Some(line) {
             // The fill requested when this block missed arrives now and is
@@ -108,16 +108,19 @@ impl Simulator {
         while budget > 0 && room > 0 {
             let seq = th.next_fetch;
             *uid_counter += 1;
-            // Borrow the decoded record in place; the borrow ends before
-            // the window push below, so nothing is copied out of the ring.
-            let decoded = th.inst_at_ref(seq);
-            let mut inst = DynInst::fetched(*uid_counter, decoded, now, frontend_delay);
-            policy.on_fetch_inst(t, decoded);
+            // One block lookup serves the 16-byte packed core plus (for
+            // loads/stores) the effective address; only the minority of
+            // records that are branches pay a second sidecar read. The
+            // policy sees only the packed view.
+            let (packed, mem_addr) = th.fetch_entry(seq);
+            let mut inst = DynInst::fetched(*uid_counter, &packed, mem_addr, now, frontend_delay);
+            policy.on_fetch_inst(t, &packed);
 
             let mut stop_block = false;
-            if let Some(bi) = decoded.branch {
-                let pred = bpred.predict(t, decoded.pc, bi.kind);
-                bpred.update(t, decoded.pc, bi, pred);
+            if packed.has_branch() {
+                let bi = th.branch_at(seq, packed.aux());
+                let pred = bpred.predict(t, packed.pc, bi.kind);
+                bpred.update(t, packed.pc, bi, pred);
                 if pred.mispredicted(bi) {
                     inst.set_mispredicted();
                     stats.mispredicts += 1;
@@ -130,7 +133,7 @@ impl Simulator {
                 }
             }
 
-            let deps = resolve_deps(decoded, seq);
+            let deps = resolve_deps(&packed, seq);
             th.push_fetched(inst, deps);
             th.pre_issue += 1;
             stats.fetched += 1;

@@ -44,7 +44,7 @@ use events::{EventWheel, ReadyEntry};
 use smt_bpred::BranchPredictor;
 use smt_isa::{InstClass, PerResource, ThreadId};
 use smt_mem::MemoryHierarchy;
-use smt_workloads::{BenchmarkProfile, TraceGenerator};
+use smt_workloads::{BenchmarkProfile, ThreadTrace};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -146,6 +146,15 @@ impl std::fmt::Debug for Simulator {
     }
 }
 
+/// Derives the per-thread trace seed from the run seed and the thread
+/// slot. The single definition is what makes [`Simulator::reset`]'s
+/// workload key match [`Simulator::new`]'s — the trace store reuses its
+/// retained blocks across a reset exactly when (profile, seed, slot) all
+/// compare equal, so `new` and `reset` must derive seeds identically.
+fn thread_seed(seed: u64, slot: usize) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9).wrapping_add(slot as u64)
+}
+
 impl Simulator {
     /// Builds a simulator running one thread per profile under `policy`.
     ///
@@ -171,11 +180,7 @@ impl Simulator {
             .enumerate()
             .map(|(i, p)| {
                 ThreadState::new(
-                    TraceGenerator::new(
-                        p,
-                        seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64),
-                        i as u64,
-                    ),
+                    ThreadTrace::new(p, thread_seed(seed, i), i as u64, window_span as u64),
                     window_span,
                 )
             })
@@ -216,7 +221,9 @@ impl Simulator {
     }
 
     /// Re-initialises the simulator in place for a fresh run on the same
-    /// machine configuration: new trace generators, a new policy, cold
+    /// machine configuration: rebound trace stores (which *reuse* their
+    /// pre-generated blocks when the workload key is unchanged — the
+    /// policy-sweep case), a new policy, cold
     /// caches/predictors, zeroed counters and an empty window — exactly the
     /// state [`Simulator::new`] would produce, but with every long-lived
     /// allocation (instruction windows, cache tag arrays, event wheel,
@@ -240,11 +247,7 @@ impl Simulator {
             "need exactly one benchmark per hardware thread"
         );
         for (i, (th, p)) in self.threads.iter_mut().zip(profiles).enumerate() {
-            th.reset(TraceGenerator::new(
-                p,
-                seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64),
-                i as u64,
-            ));
+            th.reset(p, thread_seed(seed, i), i as u64);
         }
         self.policy = policy.into();
         self.bpred.reset_cold();
@@ -324,13 +327,13 @@ impl Simulator {
     /// would otherwise need millions of timed cycles (and would bias
     /// policies that throttle on cold misses).
     ///
-    /// The generators are cloned, so the timed simulation still replays the
-    /// same instruction stream from the beginning — every prewarmed line is
-    /// revisited warm.
+    /// The warm-up streams from a decorrelated generator twin, so the
+    /// timed simulation still replays the same instruction stream from the
+    /// beginning — every prewarmed line is revisited warm.
     pub fn prewarm(&mut self, insts_per_thread: u64) {
         for tid in 0..self.threads.len() {
             let t = ThreadId::new(tid);
-            let mut gen = self.threads[tid].generator().decorrelated(0xCAFE);
+            let mut gen = self.threads[tid].trace().decorrelated(0xCAFE);
             for _ in 0..insts_per_thread {
                 let inst = gen.next_inst();
                 self.mem.access_inst(t, inst.pc, 0);
@@ -520,10 +523,10 @@ impl Simulator {
         )
     }
 
-    /// `true` while the given thread's generator reports a memory phase
+    /// `true` while the given thread's trace reports a memory phase
     /// (ground truth for the Table-5 experiment).
     pub fn thread_in_memory_phase(&self, t: ThreadId) -> bool {
-        self.threads[t.index()].generator().in_memory_phase()
+        self.threads[t.index()].trace().in_memory_phase()
     }
 
     /// The thread's pending L1-data-miss count (the paper's slow/fast phase

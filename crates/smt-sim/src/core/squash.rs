@@ -64,13 +64,13 @@ impl Simulator {
             if inst.pushes_ras() {
                 squashed_ras_activity = true;
             }
-            // The decoded record outlives the in-flight instruction in the
-            // replay buffer (squashed instructions sit above the commit
-            // point), so the squash notification reads it from there —
+            // Squashed instructions sit above the commit point, well
+            // within the trace store's lookback window, so the squash
+            // notification re-reads the packed record from there —
             // skipped entirely for the policies that ignore it.
             if notify_squashes {
-                let decoded = self.threads[tid].decoded_at(seq);
-                self.policy.on_squash_inst(ThreadId::new(tid), &decoded);
+                let packed = self.threads[tid].packed_at(seq);
+                self.policy.on_squash_inst(ThreadId::new(tid), &packed);
             }
             self.stats[tid].squashed += 1;
         }

@@ -1,6 +1,6 @@
 //! In-flight dynamic instruction state.
 
-use smt_isa::{BranchKind, DecodedInst, InstClass, RegClass};
+use smt_isa::{InstClass, PackedInst, RegClass};
 
 /// Sentinel for "no producer" in a dependency slot.
 pub(crate) const NO_DEP: u64 = u64::MAX;
@@ -28,21 +28,18 @@ pub(crate) enum Stage {
     Done,
 }
 
-/// Resolves a decoded instruction's dependence distances to absolute
+/// Resolves a packed instruction's dependence distances to absolute
 /// producer sequence numbers ([`NO_DEP`] where a slot has no producer or
 /// the distance reaches before the stream start). The result lives in the
 /// window ring's deps lane, read at dispatch when subscribing to producers.
-pub(crate) fn resolve_deps(decoded: &DecodedInst, seq: u64) -> [u64; 2] {
-    decoded.deps().map(|d| match d {
-        Some(dist) => {
-            let dist = u64::from(dist);
-            if dist <= seq {
-                seq - dist
-            } else {
-                NO_DEP
-            }
+pub(crate) fn resolve_deps(packed: &PackedInst, seq: u64) -> [u64; 2] {
+    packed.dep_dists().map(|d| {
+        let dist = u64::from(d);
+        if dist != 0 && dist <= seq {
+            seq - dist
+        } else {
+            NO_DEP
         }
-        None => NO_DEP,
     })
 }
 
@@ -54,10 +51,11 @@ pub(crate) fn resolve_deps(decoded: &DecodedInst, seq: u64) -> [u64; 2] {
 /// (`stage`, `deps`) live in separate struct-of-arrays lanes of the ring
 /// instead. The per-thread sequence number is not stored either — it *is*
 /// the ring key — and the five status booleans share one flags byte. The
-/// decoded record itself stays in the thread's replay buffer (which
-/// outlives every in-flight instruction by construction: the buffer
-/// retires at commit, and squashed instructions are younger than the
-/// commit point), where squash notifications and re-fetches look it up.
+/// packed record itself stays in the thread's trace store (whose tail
+/// ring outlives every in-flight instruction by construction: it keeps
+/// every block within `max_lookback` of the newest requested seq, and
+/// squashed instructions re-fetch from within that span), where squash
+/// notifications and re-fetches look it up.
 #[derive(Debug, Clone)]
 pub(crate) struct DynInst {
     /// Globally unique incarnation id: a squashed-and-refetched instruction
@@ -119,35 +117,33 @@ impl DynInst {
         }
     }
 
-    /// Creates a freshly fetched instruction from its decoded record. The
-    /// caller stores the companion lane values ([`resolve_deps`],
-    /// [`Stage::Fetched`]) alongside.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a load or store arrives without a memory access.
-    pub fn fetched(uid: u64, decoded: &DecodedInst, now: u64, frontend_delay: u32) -> Self {
-        let mem_addr = match decoded.class {
-            InstClass::Load | InstClass::Store => {
-                decoded.mem.expect("load/store without address").addr
-            }
-            _ => 0,
-        };
-        let pushes_ras = matches!(
-            decoded.branch.map(|b| b.kind),
-            Some(BranchKind::Call) | Some(BranchKind::Return)
-        );
+    /// Creates a freshly fetched instruction from its packed trace record
+    /// plus the effective address the fetch stage pre-read from the memory
+    /// sidecar (0 for non-memory instructions). The caller stores the
+    /// companion lane values ([`resolve_deps`], [`Stage::Fetched`])
+    /// alongside.
+    pub fn fetched(
+        uid: u64,
+        packed: &PackedInst,
+        mem_addr: u64,
+        now: u64,
+        frontend_delay: u32,
+    ) -> Self {
         DynInst {
             uid,
-            pc: decoded.pc,
+            pc: packed.pc,
             mem_addr,
             dispatch_eligible_at: now + u64::from(frontend_delay),
             dispatched_at: 0,
             waiters_head: crate::thread::NO_WAITER,
-            class: decoded.class,
-            dest: decoded.dest,
+            class: packed.class(),
+            dest: packed.dest(),
             pending_ops: 0,
-            flags: if pushes_ras { FLAG_PUSHES_RAS } else { 0 },
+            flags: if packed.touches_ras() {
+                FLAG_PUSHES_RAS
+            } else {
+                0
+            },
         }
     }
 
@@ -200,6 +196,13 @@ impl DynInst {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smt_isa::DecodedInst;
+
+    /// Packs a decoded record the way the fetch stage sees it: the 16-byte
+    /// core plus the pre-read effective address.
+    fn packed(d: &DecodedInst) -> (PackedInst, u64) {
+        (PackedInst::pack(d, 0), d.mem.map_or(0, |m| m.addr))
+    }
 
     #[test]
     fn deps_resolve_to_absolute_seqs() {
@@ -208,8 +211,9 @@ mod tests {
             .dep(3)
             .dep(10)
             .build();
-        assert_eq!(resolve_deps(&d, 20), [17, 10]);
-        let i = DynInst::fetched(1, &d, 5, 4);
+        let (p, addr) = packed(&d);
+        assert_eq!(resolve_deps(&p, 20), [17, 10]);
+        let i = DynInst::fetched(1, &p, addr, 5, 4);
         assert_eq!(i.dispatch_eligible_at, 9);
     }
 
@@ -219,7 +223,9 @@ mod tests {
             .dest(RegClass::Int)
             .mem(0x40, 8)
             .build();
-        let mut i = DynInst::fetched(1, &d, 0, 0);
+        let (p, addr) = packed(&d);
+        let mut i = DynInst::fetched(1, &p, addr, 0, 0);
+        assert_eq!(i.mem_addr, 0x40);
         assert!(!i.l1_miss() && !i.l2_miss() && !i.mispredicted());
         i.set_l1_miss();
         i.set_l2_detected();
@@ -231,21 +237,33 @@ mod tests {
     fn deps_before_stream_start_are_dropped() {
         let d = DecodedInst::builder(InstClass::IntAlu, 0).dep(5).build();
         assert_eq!(
-            resolve_deps(&d, 3),
+            resolve_deps(&packed(&d).0, 3),
             [NO_DEP, NO_DEP],
             "distance beyond seq 0 has no producer"
         );
     }
 
     #[test]
-    fn stays_compact() {
+    fn layout_hot_structs_stay_compact() {
         // The whole point of not embedding DecodedInst (and of keeping the
         // stage/deps lanes outside): window slots are the simulator's
-        // dominant memory traffic.
+        // dominant memory traffic. The companion pin for the packed trace
+        // record lives in smt-isa (`layout_packed_inst_fits_16_bytes`).
         assert!(
             std::mem::size_of::<DynInst>() <= 48,
             "DynInst grew to {} bytes",
             std::mem::size_of::<DynInst>()
+        );
+        assert_eq!(
+            std::mem::size_of::<Stage>(),
+            1,
+            "the stage lane must stay a byte lane (commit scans it)"
+        );
+        assert_eq!(std::mem::size_of::<[u64; 2]>(), 16, "deps lane entry size");
+        assert!(
+            std::mem::size_of::<PackedInst>() <= 16,
+            "PackedInst grew to {} bytes",
+            std::mem::size_of::<PackedInst>()
         );
     }
 }

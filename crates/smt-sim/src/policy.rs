@@ -12,7 +12,7 @@
 
 pub use smt_policy_core::{CycleView, MissResponse, Policy, RoundRobin, ThreadView};
 
-use smt_isa::{DecodedInst, QueueKind, RegClass, ThreadId};
+use smt_isa::{PackedInst, QueueKind, RegClass, ThreadId};
 use smt_mem::HitLevel;
 
 /// The nine canonical policies of the paper's evaluation, dispatched
@@ -110,7 +110,7 @@ impl Policy for AnyPolicy {
     }
 
     #[inline]
-    fn on_fetch_inst(&mut self, t: ThreadId, inst: &DecodedInst) {
+    fn on_fetch_inst(&mut self, t: ThreadId, inst: &PackedInst) {
         fan_out!(self, p => p.on_fetch_inst(t, inst))
     }
 
@@ -140,7 +140,7 @@ impl Policy for AnyPolicy {
     }
 
     #[inline]
-    fn on_squash_inst(&mut self, t: ThreadId, inst: &DecodedInst) {
+    fn on_squash_inst(&mut self, t: ThreadId, inst: &PackedInst) {
         fan_out!(self, p => p.on_squash_inst(t, inst))
     }
 

@@ -2,8 +2,8 @@
 
 use crate::core::rings::SeqRing;
 use crate::inst::{DynInst, Stage};
-use smt_isa::DecodedInst;
-use smt_workloads::TraceGenerator;
+use smt_isa::PackedInst;
+use smt_workloads::ThreadTrace;
 
 /// Sentinel for "no waiter node" in the per-thread wakeup pool.
 pub(crate) const NO_WAITER: u32 = u32::MAX;
@@ -18,18 +18,17 @@ pub(crate) struct Waiter {
     pub next: u32,
 }
 
-/// State of one hardware context: its trace generator with a replay buffer
-/// (squashed instructions are re-fetched, and must decode identically), the
+/// State of one hardware context: its replayable trace store (squashed
+/// instructions are re-fetched, and must decode identically — the store
+/// serves any seq within the window span of the newest one fetched), the
 /// in-flight instruction window and the thread's blocking conditions.
 ///
-/// The instruction window, its struct-of-arrays stage/deps lanes and the
-/// replay buffer are all power-of-two *sequence-indexed rings*
-/// ([`SeqRing`]): element `seq` lives at slot `seq & mask`, so every hot
-/// lookup is one mask and one indexed load. Capacities are fixed at
-/// construction from the machine's ROB and fetch-queue bounds (the window
-/// can never hold more than `rob_entries + fetch_queue` instructions, and
-/// the replay buffer never retains more than the window span), so the
-/// rings never grow.
+/// The instruction window and its struct-of-arrays stage/deps lanes are
+/// power-of-two *sequence-indexed rings* ([`SeqRing`]): element `seq`
+/// lives at slot `seq & mask`, so every hot lookup is one mask and one
+/// indexed load. Capacities are fixed at construction from the machine's
+/// ROB and fetch-queue bounds (the window can never hold more than
+/// `rob_entries + fetch_queue` instructions), so the rings never grow.
 ///
 /// The hottest per-instruction fields live in lanes beside the window
 /// instead of inside [`DynInst`]: `stages` (read by every pipeline stage;
@@ -39,13 +38,9 @@ pub(crate) struct Waiter {
 /// itself.
 #[derive(Debug)]
 pub(crate) struct ThreadState {
-    gen: TraceGenerator,
-    /// Ring of decoded records for seqs `[buffer_base, buffer_tip)`.
-    buffer: SeqRing<DecodedInst>,
-    /// Oldest retained decoded seq.
-    buffer_base: u64,
-    /// One past the newest generated seq.
-    buffer_tip: u64,
+    /// Block-buffered replayable trace: packed records pre-generated off
+    /// the fetch critical path, retained across same-workload resets.
+    trace: ThreadTrace,
     /// Next sequence number to fetch (rewinds on squash). The in-flight
     /// window spans `[win_base, next_fetch)`.
     pub next_fetch: u64,
@@ -83,13 +78,13 @@ pub(crate) struct ThreadState {
 impl ThreadState {
     /// Builds a thread whose window can hold `window_span` in-flight
     /// instructions (`rob_entries + fetch_queue` for the machine at hand).
-    pub fn new(gen: TraceGenerator, window_span: usize) -> Self {
+    /// The trace store must have been built with a `max_lookback` of at
+    /// least `window_span` (fetch and squash only ever read seqs within
+    /// the live window range).
+    pub fn new(trace: ThreadTrace, window_span: usize) -> Self {
         let cap = window_span + 1;
         ThreadState {
-            gen,
-            buffer: SeqRing::new(cap, DecodedInst::placeholder()),
-            buffer_base: 0,
-            buffer_tip: 0,
+            trace,
             next_fetch: 0,
             next_dispatch: 0,
             window: SeqRing::new(cap, DynInst::placeholder()),
@@ -107,16 +102,17 @@ impl ThreadState {
         }
     }
 
-    /// Re-initialises the thread for a fresh run on a new trace, keeping
-    /// the ring and waiter-pool allocations. State after the call is
-    /// indistinguishable from [`ThreadState::new`] with the same generator
-    /// (stale ring slots are unreachable: every lookup is bounds-guarded
-    /// by `[base, tip)`, and slots are always written before re-entering
-    /// the live range).
-    pub fn reset(&mut self, gen: TraceGenerator) {
-        self.gen = gen;
-        self.buffer_base = 0;
-        self.buffer_tip = 0;
+    /// Re-initialises the thread for a fresh run, keeping the ring and
+    /// waiter-pool allocations. The trace store rebinds to the given
+    /// workload key and *reuses* its retained blocks when the key is
+    /// unchanged (the sweep case: nine policies replaying one workload
+    /// regenerate nothing). State after the call is indistinguishable from
+    /// [`ThreadState::new`] over a fresh store with the same key (stale
+    /// ring slots are unreachable: every lookup is bounds-guarded by
+    /// `[base, tip)`, and slots are always written before re-entering the
+    /// live range).
+    pub fn reset(&mut self, profile: &smt_workloads::BenchmarkProfile, seed: u64, slot: u64) {
+        self.trace.rebind(profile, seed, slot);
         self.next_fetch = 0;
         self.next_dispatch = 0;
         self.win_base = 0;
@@ -308,56 +304,37 @@ impl ThreadState {
         }
     }
 
-    // -------------------------------------------------------- replay buffer
+    // ---------------------------------------------------------- trace store
 
-    /// The decoded instruction at `seq`, generating forward as needed
-    /// (test-only convenience; the pipeline uses [`Self::inst_at_ref`]).
-    /// Re-fetching a squashed sequence number returns the identical record.
+    /// The fetch stage's hot read at `seq`: the 16-byte packed record plus
+    /// the effective address for loads/stores (0 otherwise), generating
+    /// forward block-at-a-time as needed. Re-fetching a squashed sequence
+    /// number returns the identical record.
+    #[inline]
+    pub fn fetch_entry(&mut self, seq: u64) -> (PackedInst, u64) {
+        self.trace.entry(seq)
+    }
+
+    /// The branch payload of the record at `seq`, addressed by the sidecar
+    /// index the caller read from the packed record. Only records with
+    /// [`PackedInst::has_branch`] carry one.
+    #[inline]
+    pub fn branch_at(&self, seq: u64, aux: u16) -> smt_isa::BranchInfo {
+        self.trace.branch_payload(seq, aux)
+    }
+
+    /// The full trace record (packed core + cold payloads) at `seq`
+    /// (test-only; the pipeline reads the split views above).
     #[cfg(test)]
-    pub fn inst_at(&mut self, seq: u64) -> DecodedInst {
-        *self.inst_at_ref(seq)
+    pub fn record_at(&mut self, seq: u64) -> smt_workloads::TraceRecord {
+        self.trace.record(seq)
     }
 
-    /// Borrowed variant of [`Self::inst_at`] — the fetch stage reads the
-    /// record in place instead of copying it out of the replay ring.
+    /// The packed core alone at `seq` (squash notifications don't need the
+    /// cold payloads).
     #[inline]
-    pub fn inst_at_ref(&mut self, seq: u64) -> &DecodedInst {
-        debug_assert!(seq >= self.buffer_base, "instruction already retired");
-        while self.buffer_tip <= seq {
-            debug_assert!(
-                (self.buffer_tip - self.buffer_base) as usize <= self.buffer.capacity(),
-                "replay ring full"
-            );
-            let inst = self.gen.next_inst();
-            self.buffer.set(self.buffer_tip, inst);
-            self.buffer_tip += 1;
-        }
-        self.buffer.at(seq)
-    }
-
-    /// The decoded record of an instruction still in the replay buffer
-    /// (anything at or above the commit point — in particular every
-    /// in-flight or just-squashed instruction).
-    #[inline]
-    pub fn decoded_at(&self, seq: u64) -> DecodedInst {
-        debug_assert!(
-            seq >= self.buffer_base && seq < self.buffer_tip,
-            "decoded record not resident (seq {seq}, [{}, {}))",
-            self.buffer_base,
-            self.buffer_tip
-        );
-        *self.buffer.at(seq)
-    }
-
-    /// Drops replay entries up to and including `seq` (called at commit).
-    /// Retiring past the generated range (a gap) simply empties the
-    /// buffer; the stream continues from the generation tip.
-    #[inline]
-    pub fn retire_buffer(&mut self, seq: u64) {
-        if seq < self.buffer_base {
-            return;
-        }
-        self.buffer_base = (seq + 1).min(self.buffer_tip);
+    pub fn packed_at(&mut self, seq: u64) -> PackedInst {
+        self.trace.packed(seq)
     }
 
     /// Number of instructions currently in the fetch queue (stage Fetched).
@@ -367,21 +344,9 @@ impl ThreadState {
         (self.next_fetch - self.next_dispatch) as usize
     }
 
-    /// The generator, for phase/profile queries.
-    pub fn generator(&self) -> &TraceGenerator {
-        &self.gen
-    }
-
-    /// Test hook: number of live replay-buffer entries.
-    #[cfg(test)]
-    fn buffer_len(&self) -> usize {
-        (self.buffer_tip - self.buffer_base) as usize
-    }
-
-    /// Test hook: oldest retained decoded seq.
-    #[cfg(test)]
-    fn buffer_base(&self) -> u64 {
-        self.buffer_base
+    /// The trace store, for phase/profile/decorrelation queries.
+    pub fn trace(&self) -> &ThreadTrace {
+        &self.trace
     }
 }
 
@@ -392,54 +357,38 @@ mod tests {
 
     fn thread() -> ThreadState {
         let p = smt_workloads::spec::profile("gzip").unwrap();
-        ThreadState::new(TraceGenerator::new(p, 1, 0), 512 + 16)
+        let span = 512 + 16;
+        ThreadState::new(ThreadTrace::new(p, 1, 0, span as u64), span)
     }
 
     /// Fetches seq `s` into the window with uid `uid`.
     fn push(t: &mut ThreadState, s: u64, uid: u64) {
-        let d = t.inst_at(s);
-        let deps = resolve_deps(&d, s);
-        t.push_fetched(crate::inst::DynInst::fetched(uid, &d, 0, 0), deps);
+        let (p, addr) = t.fetch_entry(s);
+        let deps = resolve_deps(&p, s);
+        t.push_fetched(crate::inst::DynInst::fetched(uid, &p, addr, 0, 0), deps);
     }
 
     #[test]
     fn replay_is_identical() {
         let mut t = thread();
-        let a: Vec<_> = (0..50).map(|s| t.inst_at(s)).collect();
-        let b: Vec<_> = (0..50).map(|s| t.inst_at(s)).collect();
+        let a: Vec<_> = (0..50).map(|s| t.record_at(s)).collect();
+        let b: Vec<_> = (0..50).map(|s| t.record_at(s)).collect();
         assert_eq!(a, b, "replayed instructions must be bit-identical");
     }
 
     #[test]
-    fn retire_frees_buffer() {
+    fn reset_replays_the_same_workload_from_seq_zero() {
+        let p = smt_workloads::spec::profile("gzip").unwrap();
         let mut t = thread();
-        let _ = t.inst_at(99);
-        assert_eq!(t.buffer_len(), 100);
-        t.retire_buffer(49);
-        assert_eq!(t.buffer_base(), 50);
-        assert_eq!(t.buffer_len(), 50);
-        // Still replayable beyond the retired point.
-        let _ = t.inst_at(75);
-    }
-
-    #[test]
-    fn retire_past_a_gap_empties_the_buffer() {
-        let mut t = thread();
-        let _ = t.inst_at(9); // buffer holds seqs 0..=9
-        assert_eq!(t.buffer_len(), 10);
-        // Retire far beyond the buffered range: everything buffered goes,
-        // and the base lands just past the last buffered entry (not at the
-        // retired seq), so the next fetch regenerates from there.
-        t.retire_buffer(1_000);
-        assert_eq!(t.buffer_len(), 0);
-        assert_eq!(t.buffer_base(), 10);
-        // Retiring below the base is a no-op.
-        t.retire_buffer(3);
-        assert_eq!(t.buffer_base(), 10);
-        // The stream continues identically after the jump.
-        let a = t.inst_at(10);
-        let b = t.inst_at(10);
-        assert_eq!(a, b);
+        let a: Vec<_> = (0..100).map(|s| t.record_at(s)).collect();
+        t.reset(p, 1, 0);
+        assert!(t.window_is_empty());
+        let b: Vec<_> = (0..100).map(|s| t.record_at(s)).collect();
+        assert_eq!(a, b, "same-key reset must replay identically");
+        // A different seed restarts the stream.
+        t.reset(p, 2, 0);
+        let c: Vec<_> = (0..100).map(|s| t.record_at(s)).collect();
+        assert_ne!(a, c);
     }
 
     #[test]
@@ -501,8 +450,8 @@ mod tests {
         assert_eq!(t.stage_of(2), Stage::Dispatched);
         assert_eq!(t.stage_of(3), Stage::Fetched, "other lanes untouched");
         // The deps lane holds what resolve_deps computed at push time.
-        let d = t.inst_at(2);
-        assert_eq!(t.deps_of(2), resolve_deps(&d, 2));
+        let p = t.record_at(2).packed;
+        assert_eq!(t.deps_of(2), resolve_deps(&p, 2));
         // A committable run requires Done stages from the base.
         assert_eq!(t.done_run_len(8), 0);
         t.set_stage(0, Stage::Done);
@@ -519,7 +468,6 @@ mod tests {
         for s in 0..5_000u64 {
             push(&mut t, s, s + 7);
             if s >= 100 {
-                t.retire_buffer(s - 100);
                 t.advance_base_by(1);
             }
         }

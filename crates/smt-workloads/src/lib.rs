@@ -51,6 +51,7 @@ mod generator;
 pub mod manifest;
 mod profile;
 pub mod spec;
+mod store;
 mod workload;
 
 pub use family::{
@@ -62,4 +63,5 @@ pub use profile::{
     BenchmarkProfile, BenchmarkProfileBuilder, BranchBehavior, InstMix, MemBehavior, PhaseBehavior,
     ProfileError, Suite,
 };
+pub use store::{ThreadTrace, TraceRecord, MAX_PREFIX_BLOCKS, TRACE_BLOCK};
 pub use workload::{table4_workloads, workloads_of, Workload, WorkloadType};

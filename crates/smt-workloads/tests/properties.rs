@@ -1,7 +1,7 @@
 //! Property-based tests of the trace-generation substrate.
 
 use proptest::prelude::*;
-use smt_workloads::{spec, BenchmarkProfile, Suite, TraceGenerator};
+use smt_workloads::{spec, BenchmarkProfile, Suite, ThreadTrace, TraceGenerator};
 
 fn any_builtin() -> impl Strategy<Value = &'static BenchmarkProfile> {
     let names = spec::names();
@@ -79,6 +79,59 @@ proptest! {
             if let (Some(ma), Some(mb)) = (x.mem, y.mem) {
                 prop_assert_ne!(ma.addr >> 36, mb.addr >> 36);
             }
+        }
+    }
+
+    /// Store-replayed traces are bit-identical to streamed generation:
+    /// for any profile/seed/slot, every record the block store serves
+    /// unpacks to exactly what a fresh generator streams — including
+    /// within-window lookback re-reads (the squash path) and the
+    /// memory-phase signal at every step.
+    #[test]
+    fn store_replay_matches_streamed_generation(
+        profile in any_builtin(),
+        seed in 0u64..1000,
+        slot in 0u64..4,
+        n in 300u64..2000,
+    ) {
+        let mut store = ThreadTrace::new(profile, seed, slot, 64);
+        let mut gen = TraceGenerator::new(profile, seed, slot);
+        prop_assert_eq!(store.in_memory_phase(), gen.in_memory_phase());
+        for seq in 0..n {
+            let rec = store.record(seq);
+            prop_assert_eq!(rec.unpack(), gen.next_inst(), "seq {}", seq);
+            prop_assert_eq!(
+                store.in_memory_phase(),
+                gen.in_memory_phase(),
+                "phase diverged at seq {}", seq
+            );
+            if seq >= 32 && seq % 97 == 0 {
+                // Lookback re-read (squash path) replays identically.
+                let back = seq - 32;
+                let again = store.record(back);
+                prop_assert_eq!(again, store.record(back));
+            }
+        }
+    }
+
+    /// Rebinding the store replays identically: a same-key rebind reuses
+    /// the retained blocks, a changed key regenerates — and in both cases
+    /// the served stream equals fresh generation for the bound key.
+    #[test]
+    fn store_rebind_replays_each_key_exactly(
+        profile in any_builtin(),
+        seed in 0u64..500,
+        slot in 0u64..4,
+    ) {
+        let mut store = ThreadTrace::new(profile, seed, slot, 64);
+        let first: Vec<_> = (0..600).map(|s| store.record(s).unpack()).collect();
+        prop_assert!(store.rebind(profile, seed, slot), "same key must reuse");
+        let replay: Vec<_> = (0..600).map(|s| store.record(s).unpack()).collect();
+        prop_assert_eq!(&first, &replay);
+        prop_assert!(!store.rebind(profile, seed ^ 0xdead, slot));
+        let mut gen = TraceGenerator::new(profile, seed ^ 0xdead, slot);
+        for seq in 0..600 {
+            prop_assert_eq!(store.record(seq).unpack(), gen.next_inst(), "seq {}", seq);
         }
     }
 

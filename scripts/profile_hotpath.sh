@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Samples the simulator hot path with `perf` and prints the top symbols,
+# so perf hunts can work from real profile data instead of the coarse
+# per-stage wall-clock attribution in BENCH_core.json.
+#
+# Usage:
+#   scripts/profile_hotpath.sh [top-N]        # default: top 25 symbols
+#
+# Requires Linux `perf` (linux-tools). When perf is unavailable — not
+# installed, or the kernel forbids sampling (perf_event_paranoid) — the
+# script says so and exits non-zero rather than silently printing nothing;
+# fall back to `scripts/bench_snapshot.sh`'s stage_pct attribution.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOP="${1:-25}"
+
+if ! command -v perf >/dev/null 2>&1; then
+    echo "profile_hotpath: \`perf\` is not installed on this host." >&2
+    echo "  Install linux-tools (e.g. apt install linux-perf) to sample the hot path." >&2
+    echo "  Until then, the stage-level attribution in BENCH_core.json" >&2
+    echo "  (scripts/bench_snapshot.sh, stage_pct) is the available signal." >&2
+    exit 2
+fi
+
+PARANOID="$(cat /proc/sys/kernel/perf_event_paranoid 2>/dev/null || echo '?')"
+if [[ "$PARANOID" != "?" && "$PARANOID" -gt 2 ]]; then
+    echo "profile_hotpath: kernel.perf_event_paranoid=$PARANOID forbids sampling." >&2
+    echo "  Lower it (sysctl kernel.perf_event_paranoid=1) or run with CAP_PERFMON." >&2
+    exit 2
+fi
+
+# Debug symbols without losing optimisation: the release profile plus
+# debuginfo, so perf resolves inlined hot-path symbols.
+export CARGO_PROFILE_RELEASE_DEBUG=true
+cargo build --release -p smt-experiments --bin bench_snapshot
+
+DATA="$(mktemp --suffix=.perf.data)"
+trap 'rm -f "$DATA"' EXIT
+
+# The smoke run exercises every policy plus the MEM mix and the stage
+# breakdown — a few seconds of representative hot-path work.
+perf record -o "$DATA" --call-graph dwarf -F 997 -- \
+    ./target/release/bench_snapshot --smoke --out "$(mktemp)" >/dev/null
+
+echo
+echo "== top $TOP symbols (self time) =="
+perf report -i "$DATA" --stdio --no-children --percent-limit 0.5 2>/dev/null \
+    | grep -v '^#' | grep -v '^$' | head -n "$TOP"
