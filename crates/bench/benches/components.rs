@@ -54,7 +54,7 @@ fn bench_bpred(c: &mut Criterion) {
 fn bench_generator(c: &mut Criterion) {
     for name in ["gzip", "mcf", "swim"] {
         c.bench_function(format!("workloads/gen_{name}"), |b| {
-            let mut g = TraceGenerator::new(spec::profile(name).unwrap(), 1, 0);
+            let mut g = TraceGenerator::new(spec::profile(name).expect("registry benchmark"), 1, 0);
             b.iter(|| black_box(g.next_inst()));
         });
     }

@@ -54,7 +54,7 @@ fn bench_table5(c: &mut Criterion) {
     let mut g = c.benchmark_group("paper/table5_phases");
     g.sample_size(10);
     g.bench_function("2thread_sampling", |b| {
-        b.iter(|| black_box(table5::run(2_000)));
+        b.iter(|| black_box(table5::run(2_000).expect("registry benchmarks")));
     });
     g.finish();
 }

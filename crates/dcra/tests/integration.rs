@@ -6,7 +6,10 @@ use smt_sim::{SimConfig, Simulator};
 use smt_workloads::spec;
 
 fn sim_with(benches: &[&str], config: DcraConfig, seed: u64) -> Simulator {
-    let profiles: Vec<_> = benches.iter().map(|b| spec::profile(b).unwrap()).collect();
+    let profiles: Vec<_> = benches
+        .iter()
+        .map(|b| spec::profile(b).expect("registry benchmark"))
+        .collect();
     let mut sim = Simulator::new(
         SimConfig::baseline(benches.len()),
         &profiles,

@@ -114,11 +114,13 @@ pub fn run(runner: &Runner, measure_cycles: u64) -> Result<Vec<AblationRow>, Run
         let mut tput = 0.0;
         let mut hm = 0.0;
         for w in &workloads {
-            let profiles: Vec<_> = w
+            let profiles = w
                 .benchmarks
                 .iter()
-                .map(|b| spec::profile(b).expect("table4 benchmark"))
-                .collect();
+                .map(|b| {
+                    spec::profile(b).ok_or_else(|| RunError::UnknownBenchmark { bench: b.clone() })
+                })
+                .collect::<Result<Vec<_>, RunError>>()?;
             let mut sim = Simulator::new(
                 smt_sim::SimConfig::baseline(w.threads()),
                 &profiles,

@@ -13,6 +13,8 @@
 //! Intended use is paired same-host interleaved A/B: build this bin at
 //! two revisions, alternate invocations, and compare the means.
 
+#![forbid(unsafe_code)]
+
 use smt_experiments::PolicyKind;
 use smt_sim::{SimConfig, Simulator};
 use smt_workloads::{spec, workloads_of, WorkloadType};

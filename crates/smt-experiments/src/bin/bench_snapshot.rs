@@ -24,6 +24,8 @@
 //! reused [`SimSession`] sustains versus building a fresh simulator per
 //! run.
 
+#![forbid(unsafe_code)]
+
 use smt_experiments::scenarios::{policy_for_target, specs_for_family, ScenarioLengths};
 use smt_experiments::{PolicyKind, RunSpec, SimSession};
 use smt_sim::{SimConfig, Simulator, StageProfile};

@@ -5,6 +5,8 @@
 //! cargo run --release -p smt-experiments --bin diagnose -- POLICY bench [bench ...]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use smt_experiments::{PolicyKind, RunSpec, Runner};
 
 fn main() {

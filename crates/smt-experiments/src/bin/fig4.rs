@@ -1,4 +1,7 @@
 //! Regenerates paper Figure 4 (DCRA vs SRA).
+
+#![forbid(unsafe_code)]
+
 use smt_experiments::{fig4, Runner};
 fn main() {
     let runner = Runner::new();

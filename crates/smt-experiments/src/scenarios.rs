@@ -57,11 +57,21 @@ impl ScenarioLengths {
 }
 
 /// Maps a generator-side [`PolicyTarget`] to the runnable [`PolicyKind`].
-/// Total: the two enums mirror each other name-for-name, and a unit test
-/// pins the round trip over all nine targets.
+/// Total by construction — an exhaustive match, so a new target variant
+/// is a compile error here rather than a runtime panic; the unit test
+/// still pins the name round trip over all nine targets.
 pub fn policy_for_target(target: PolicyTarget) -> PolicyKind {
-    PolicyKind::from_name(target.name())
-        .unwrap_or_else(|| panic!("PolicyTarget {} has no PolicyKind", target.name()))
+    match target {
+        PolicyTarget::RoundRobin => PolicyKind::RoundRobin,
+        PolicyTarget::Icount => PolicyKind::Icount,
+        PolicyTarget::Stall => PolicyKind::Stall,
+        PolicyTarget::Flush => PolicyKind::Flush,
+        PolicyTarget::FlushPlusPlus => PolicyKind::FlushPlusPlus,
+        PolicyTarget::DataGating => PolicyKind::DataGating,
+        PolicyTarget::PredictiveDataGating => PolicyKind::PredictiveDataGating,
+        PolicyTarget::Sra => PolicyKind::Sra,
+        PolicyTarget::Dcra => PolicyKind::Dcra(dcra::DcraConfig::default()),
+    }
 }
 
 /// Expands a generated family into one [`RunSpec`] per mix (index order),

@@ -44,7 +44,7 @@ pub fn run(runner: &Runner) -> Result<Vec<BenchCalibration>, RunError> {
         .iter()
         .zip(outs)
         .map(|(name, out)| {
-            let m = out.mem[0];
+            let m = out.mem.first().copied().unwrap_or_default();
             let paper = spec::paper_l2_miss_pct(name).unwrap_or(0.0);
             BenchCalibration {
                 name: name.to_string(),

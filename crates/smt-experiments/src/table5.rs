@@ -4,6 +4,7 @@
 //! The phase signal is the paper's own criterion: a thread is *slow* while
 //! it has pending L1 data misses (Section 3.1.1).
 
+use crate::fault::RunError;
 use crate::tables::TextTable;
 use smt_isa::ThreadId;
 use smt_sim::{SimConfig, Simulator};
@@ -50,45 +51,52 @@ pub const PAPER: [(WorkloadType, PhaseDistribution); 3] = [
 
 /// Samples the phase combination every cycle for all four groups of each
 /// 2-thread workload class.
-pub fn run(cycles_per_workload: u64) -> Vec<(WorkloadType, PhaseDistribution)> {
-    WorkloadType::ALL
-        .iter()
-        .map(|&kind| {
-            let mut counts = [0u64; 3];
-            for w in workloads_of(kind, 2) {
-                let profiles: Vec<_> = w
-                    .benchmarks
-                    .iter()
-                    .map(|b| spec::profile(b).expect("table4 benchmark"))
-                    .collect();
-                let mut sim =
-                    Simulator::new(SimConfig::baseline(2), &profiles, smt_policies::Icount, 42);
-                sim.prewarm(300_000);
-                sim.run_cycles(20_000);
-                for _ in 0..cycles_per_workload {
-                    sim.step();
-                    let slow0 = sim.thread_l1d_pending(ThreadId::new(0)) > 0;
-                    let slow1 = sim.thread_l1d_pending(ThreadId::new(1)) > 0;
-                    let idx = match (slow0, slow1) {
-                        (true, true) => 0,
-                        (false, false) => 2,
-                        _ => 1,
-                    };
-                    counts[idx] += 1;
-                }
+///
+/// # Errors
+///
+/// [`RunError::UnknownBenchmark`] if a Table-4 workload names a benchmark
+/// missing from the registry — typed like every other driver since PR 7,
+/// instead of panicking mid-sweep.
+pub fn run(cycles_per_workload: u64) -> Result<Vec<(WorkloadType, PhaseDistribution)>, RunError> {
+    let mut rows = Vec::with_capacity(WorkloadType::ALL.len());
+    for &kind in WorkloadType::ALL.iter() {
+        let mut counts = [0u64; 3];
+        for w in workloads_of(kind, 2) {
+            let profiles = w
+                .benchmarks
+                .iter()
+                .map(|b| {
+                    spec::profile(b).ok_or_else(|| RunError::UnknownBenchmark { bench: b.clone() })
+                })
+                .collect::<Result<Vec<_>, RunError>>()?;
+            let mut sim =
+                Simulator::new(SimConfig::baseline(2), &profiles, smt_policies::Icount, 42);
+            sim.prewarm(300_000);
+            sim.run_cycles(20_000);
+            for _ in 0..cycles_per_workload {
+                sim.step();
+                let slow0 = sim.thread_l1d_pending(ThreadId::new(0)) > 0;
+                let slow1 = sim.thread_l1d_pending(ThreadId::new(1)) > 0;
+                let idx = match (slow0, slow1) {
+                    (true, true) => 0,
+                    (false, false) => 2,
+                    _ => 1,
+                };
+                counts[idx] += 1;
             }
-            let total: u64 = counts.iter().sum();
-            let pct = |c: u64| 100.0 * c as f64 / total.max(1) as f64;
-            (
-                kind,
-                PhaseDistribution {
-                    slow_slow: pct(counts[0]),
-                    mixed: pct(counts[1]),
-                    fast_fast: pct(counts[2]),
-                },
-            )
-        })
-        .collect()
+        }
+        let total: u64 = counts.iter().sum();
+        let pct = |c: u64| 100.0 * c as f64 / total.max(1) as f64;
+        rows.push((
+            kind,
+            PhaseDistribution {
+                slow_slow: pct(counts[0]),
+                mixed: pct(counts[1]),
+                fast_fast: pct(counts[2]),
+            },
+        ));
+    }
+    Ok(rows)
 }
 
 /// The paper's Table-5 distribution for one workload class, if the paper
@@ -131,7 +139,7 @@ mod tests {
     /// MEM workloads spend the most time slow-slow, ILP the least.
     #[test]
     fn phase_ordering_matches_paper() {
-        let rows = run(15_000);
+        let rows = run(15_000).expect("registry benchmarks");
         let get = |k: WorkloadType| {
             rows.iter()
                 .find(|(kind, _)| *kind == k)

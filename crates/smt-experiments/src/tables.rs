@@ -65,21 +65,22 @@ impl std::fmt::Display for TextTable {
         let cols = self.header.len();
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
         for row in &self.rows {
-            for c in 0..cols {
-                widths[c] = widths[c].max(row[c].len());
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
             }
         }
         let write_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
-            for (c, cell) in cells.iter().enumerate() {
+            for (c, cell) in cells.iter().take(cols).enumerate() {
                 if c > 0 {
                     write!(f, "  ")?;
                 }
-                write!(f, "{cell:>width$}", width = widths[c])?;
+                let width = widths.get(c).copied().unwrap_or(0);
+                write!(f, "{cell:>width$}")?;
             }
             writeln!(f)
         };
         write_row(f, &self.header)?;
-        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
         writeln!(f, "{}", "-".repeat(total))?;
         for row in &self.rows {
             write_row(f, row)?;

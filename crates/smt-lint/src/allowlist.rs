@@ -1,0 +1,197 @@
+//! `lint-allow.toml`: the justified escape hatch.
+//!
+//! Every suppression is an explicit checked-in entry carrying a
+//! non-empty justification — the review surface for "this panic/clock is
+//! fine" is the allowlist diff, not a scattering of inline comments.
+//! Entries that stop matching anything become findings themselves
+//! (`ALLOW-STALE-001`), so the file can only shrink when the code gets
+//! cleaner, never rot.
+
+use crate::config::parse_sections;
+use crate::rules::Finding;
+
+/// Finding ID for an allowlist entry that matched nothing.
+pub const ALLOW_STALE: &str = "ALLOW-STALE-001";
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule ID the entry suppresses, e.g. `PANIC-EXPECT-002`.
+    pub rule: String,
+    /// Repo-relative file the findings live in.
+    pub file: String,
+    /// Substring the *raw* source line must contain; empty matches any
+    /// line of `file` (whole-file waiver — use sparingly).
+    pub pattern: String,
+    /// Why the violation is sound. Required, non-empty.
+    pub justification: String,
+    /// 1-based line of the entry in `lint-allow.toml`, for stale reports.
+    pub line: usize,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct AllowList {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl AllowList {
+    /// Parses `lint-allow.toml` text. Entries without a justification are
+    /// a parse error: the file's whole point is the recorded "why".
+    pub fn parse(text: &str) -> Result<AllowList, String> {
+        let mut entries = Vec::new();
+        // Track entry line numbers: re-find each [[allow]] header.
+        let mut header_lines = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            if raw.trim().starts_with("[[allow]]") {
+                header_lines.push(idx + 1);
+            }
+        }
+        let sections = parse_sections(text)?;
+        for (nth, section) in sections.into_iter().enumerate() {
+            if section.name != "allow" || !section.array {
+                return Err(format!(
+                    "lint-allow.toml only holds [[allow]] entries, found [{}]",
+                    section.name
+                ));
+            }
+            let line = header_lines.get(nth).copied().unwrap_or(0);
+            let mut rule = None;
+            let mut file = None;
+            let mut pattern = String::new();
+            let mut justification = String::new();
+            for (k, v) in &section.pairs {
+                let s = v.as_str_lossy();
+                match k.as_str() {
+                    "rule" => rule = Some(s),
+                    "file" => file = Some(s),
+                    "pattern" => pattern = s,
+                    "justification" => justification = s,
+                    other => return Err(format!("[[allow]] (line {line}): unknown key `{other}`")),
+                }
+            }
+            let rule = rule.ok_or_else(|| format!("[[allow]] (line {line}) is missing `rule`"))?;
+            let file = file.ok_or_else(|| format!("[[allow]] (line {line}) is missing `file`"))?;
+            if justification.trim().is_empty() {
+                return Err(format!(
+                    "[[allow]] (line {line}) for {rule} in {file} has no justification — \
+                     every suppression must say why it is sound"
+                ));
+            }
+            entries.push(AllowEntry {
+                rule,
+                file,
+                pattern,
+                justification,
+                line,
+            });
+        }
+        Ok(AllowList { entries })
+    }
+
+    /// Splits `findings` into kept ones and a suppressed count, and
+    /// appends an `ALLOW-STALE-001` finding for every entry that matched
+    /// nothing.
+    pub fn apply(&self, findings: Vec<Finding>, allow_file: &str) -> (Vec<Finding>, usize) {
+        let mut hits = vec![0usize; self.entries.len()];
+        let mut kept = Vec::with_capacity(findings.len());
+        let mut suppressed = 0;
+        for f in findings {
+            let matched = self.entries.iter().enumerate().find(|(_, e)| {
+                e.rule == f.rule
+                    && e.file == f.file
+                    && (e.pattern.is_empty() || f.excerpt.contains(&e.pattern))
+            });
+            match matched {
+                Some((i, _)) => {
+                    hits[i] += 1;
+                    suppressed += 1;
+                }
+                None => kept.push(f),
+            }
+        }
+        for (entry, n) in self.entries.iter().zip(&hits) {
+            if *n == 0 {
+                kept.push(Finding {
+                    rule: ALLOW_STALE,
+                    file: allow_file.to_owned(),
+                    line: entry.line,
+                    excerpt: format!(
+                        "{} in {} (pattern `{}`)",
+                        entry.rule, entry.file, entry.pattern
+                    ),
+                    message: "stale allowlist entry: it no longer matches any finding — \
+                              delete it so the escape hatch stays minimal"
+                        .into(),
+                });
+            }
+        }
+        (kept, suppressed)
+    }
+}
+
+impl crate::config::Value {
+    fn as_str_lossy(&self) -> String {
+        match self {
+            crate::config::Value::Str(s) => s.clone(),
+            crate::config::Value::Int(n) => n.to_string(),
+            crate::config::Value::List(v) => v.join(","),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, excerpt: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 1,
+            excerpt: excerpt.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn suppresses_matching_findings_only() {
+        let allow = AllowList::parse(
+            "[[allow]]\nrule = \"PANIC-EXPECT-002\"\nfile = \"a.rs\"\npattern = \"covered every spec\"\njustification = \"structural invariant\"\n",
+        )
+        .expect("parses");
+        let fs = vec![
+            finding(
+                "PANIC-EXPECT-002",
+                "a.rs",
+                "slot.expect(\"covered every spec\")",
+            ),
+            finding("PANIC-EXPECT-002", "a.rs", "other.expect(\"nope\")"),
+        ];
+        let (kept, suppressed) = allow.apply(fs, "lint-allow.toml");
+        assert_eq!(suppressed, 1);
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].excerpt.contains("nope"));
+    }
+
+    #[test]
+    fn stale_entries_become_findings() {
+        let allow = AllowList::parse(
+            "[[allow]]\nrule = \"DET-TIME-002\"\nfile = \"gone.rs\"\njustification = \"was real once\"\n",
+        )
+        .expect("parses");
+        let (kept, suppressed) = allow.apply(Vec::new(), "lint-allow.toml");
+        assert_eq!(suppressed, 0);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, ALLOW_STALE);
+        assert_eq!(kept[0].line, 1);
+    }
+
+    #[test]
+    fn missing_justification_is_a_parse_error() {
+        let err = AllowList::parse("[[allow]]\nrule = \"PANIC-UNWRAP-001\"\nfile = \"a.rs\"\n")
+            .expect_err("must fail");
+        assert!(err.contains("justification"));
+    }
+}

@@ -1,0 +1,169 @@
+//! `smt-lint`: workspace-local static analysis for the invariants the
+//! test suite can only check dynamically.
+//!
+//! Every headline claim this reproduction makes — bit-identical goldens
+//! across nine policies, worker-count-invariant scenario manifests,
+//! replay-equals-regenerate trace stores — rests on two properties:
+//! *determinism* (simulated state derives only from seed + config) and
+//! *panic-freedom* (the experiment engine surfaces typed `RunError`s,
+//! never aborts a worker). Tests enforce those properties only on the
+//! paths they happen to execute; this crate enforces them on every line,
+//! before anything runs, and still works when the tree doesn't compile.
+//!
+//! Three rule groups (see [`rules`]) are scoped per crate by `lint.toml`
+//! ([`config`]); violations are suppressed only through the justified
+//! allowlist `lint-allow.toml` ([`allowlist`]); and the [`mirror`] module
+//! statically cross-checks the `smt-sim/knobs.rs` constants against
+//! their `smt-workloads` mirrors plus the ≤16-byte `PackedInst` layout
+//! pin. Run it with `cargo run -p smt-lint`; see the "Invariants &
+//! static analysis" section of ARCHITECTURE.md for the rule catalogue.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod config;
+pub mod mirror;
+pub mod rules;
+pub mod scrub;
+
+use crate::allowlist::AllowList;
+use crate::config::LintConfig;
+use crate::rules::Finding;
+use std::path::{Path, PathBuf};
+
+/// Result of a full lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Surviving findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings suppressed by allowlist entries.
+    pub suppressed: usize,
+}
+
+/// Directories never walked regardless of config.
+const ALWAYS_EXCLUDED: &[&str] = &["target", ".git"];
+
+/// Path components that mark a file as test-only for rule purposes:
+/// integration tests, benches, and examples may unwrap and clock freely.
+const TEST_SCOPE_DIRS: &[&str] = &["tests", "benches", "examples"];
+
+/// Walks `root` and returns repo-relative (forward-slash) paths of every
+/// `.rs` file outside the exclusions, sorted for deterministic output.
+pub fn discover_files(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let rel = rel_path(root, &path);
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if ALWAYS_EXCLUDED.contains(&name.as_ref()) || name.starts_with('.') {
+                    continue;
+                }
+                if cfg.exclude.contains(&rel) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") && !cfg.exclude.contains(&rel) {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    parts.join("/")
+}
+
+/// `src/lib.rs`, `src/main.rs`, or `src/bin/*.rs` — the files the
+/// `UNSAFE-FORBID-002` crate-root rule applies to.
+fn is_crate_root(rel: &str) -> bool {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        [.., "src", "lib.rs"] | [.., "src", "main.rs"] => true,
+        [.., "src", "bin", f] => f.ends_with(".rs"),
+        _ => false,
+    }
+}
+
+/// A file whose whole content is test scope (integration tests, benches,
+/// examples, and anything under a `fixtures` directory).
+fn is_test_scope(rel: &str) -> bool {
+    rel.split('/')
+        .any(|part| TEST_SCOPE_DIRS.contains(&part) || part == "fixtures")
+}
+
+/// Runs the full lint: file rules, allowlist application, mirror pins,
+/// and layout pins.
+pub fn run(root: &Path, cfg: &LintConfig, allow: &AllowList) -> std::io::Result<Report> {
+    let files = discover_files(root, cfg)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        if is_test_scope(rel) {
+            continue;
+        }
+        let groups = cfg.groups_for(rel);
+        if groups.is_empty() {
+            continue;
+        }
+        let mut rule_ids: Vec<&'static str> = Vec::new();
+        for g in groups {
+            if let Some(rs) = rules::group_rules(g) {
+                rule_ids.extend_from_slice(rs);
+            }
+        }
+        let text = std::fs::read_to_string(root.join(rel))?;
+        let src = scrub::scrub(&text);
+        findings.extend(rules::check_file(rel, &src, &rule_ids, is_crate_root(rel)));
+    }
+    for pin in &cfg.mirrors {
+        findings.extend(mirror::check_mirror(root, pin));
+    }
+    for pin in &cfg.layouts {
+        findings.extend(mirror::check_layout(root, pin));
+    }
+    let (mut findings, suppressed) = allow.apply(findings, "lint-allow.toml");
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(Report {
+        findings,
+        files_scanned: files.len(),
+        suppressed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_root_detection() {
+        assert!(is_crate_root("crates/smt-sim/src/lib.rs"));
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(is_crate_root("crates/smt-experiments/src/bin/table3.rs"));
+        assert!(!is_crate_root("crates/smt-sim/src/core/fetch.rs"));
+        assert!(!is_crate_root("examples/quickstart.rs"));
+    }
+
+    #[test]
+    fn test_scope_detection() {
+        assert!(is_test_scope("tests/chaos_soak.rs"));
+        assert!(is_test_scope("crates/dcra/tests/properties.rs"));
+        assert!(is_test_scope("crates/bench/benches/components.rs"));
+        assert!(is_test_scope("examples/quickstart.rs"));
+        assert!(!is_test_scope("crates/smt-sim/src/core/fetch.rs"));
+    }
+}

@@ -1,0 +1,137 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p smt-lint                 # lint the repo, exit 1 on findings
+//! cargo run -p smt-lint -- --root DIR   # lint another tree (CI bad-fixture proof)
+//! cargo run -p smt-lint -- --list-rules # print the rule catalogue
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/config error — so CI can
+//! distinguish "the tree is dirty" from "the lint itself is broken".
+
+#![forbid(unsafe_code)]
+
+use smt_lint::allowlist::AllowList;
+use smt_lint::{config, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    allow: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        allow: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => args.root = next_path(&mut it, "--root")?,
+            "--config" => args.config = Some(next_path(&mut it, "--config")?),
+            "--allow" => args.allow = Some(next_path(&mut it, "--allow")?),
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                return Err("usage: smt-lint [--root DIR] [--config lint.toml] \
+                            [--allow lint-allow.toml] [--list-rules]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn next_path(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+    it.next()
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("{flag} needs a path argument"))
+}
+
+fn list_rules() {
+    println!("rule groups and IDs (scoped per crate in lint.toml):");
+    for group in rules::GROUPS {
+        println!("  {group}:");
+        for id in rules::group_rules(group).unwrap_or(&[]) {
+            println!("    {id}");
+        }
+    }
+    println!("  (plus per-pin MIRROR-* / LAYOUT-* IDs from lint.toml, and ALLOW-STALE-001)");
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("smt-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        list_rules();
+        return ExitCode::SUCCESS;
+    }
+
+    let config_path = args.config.unwrap_or_else(|| args.root.join("lint.toml"));
+    let cfg = match std::fs::read_to_string(&config_path) {
+        Ok(text) => match config::parse(&text) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("smt-lint: {}: {e}", config_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("smt-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    // The allowlist is optional: a missing file just means no waivers.
+    let allow_path = args
+        .allow
+        .unwrap_or_else(|| args.root.join("lint-allow.toml"));
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match AllowList::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("smt-lint: {}: {e}", allow_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => AllowList::default(),
+    };
+
+    let report = match smt_lint::run(&args.root, &cfg, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("smt-lint: walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("error[{}] {}:{}", f.rule, f.file, f.line);
+        if !f.excerpt.is_empty() {
+            println!("  | {}", f.excerpt);
+        }
+        println!("  = {}", f.message);
+    }
+    println!(
+        "smt-lint: {} files scanned, {} finding(s), {} allowlisted",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

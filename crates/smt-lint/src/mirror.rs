@@ -1,0 +1,374 @@
+//! Static mirror-constant and packed-layout checks.
+//!
+//! `smt-workloads` sits below `smt-sim` in the dependency graph, so it
+//! mirrors policy-timing constants (`DCRA_ACTIVITY_WINDOW`, …) by value;
+//! a runtime sync test in `smt-sim/knobs.rs` pins the pair. This module
+//! is the *static* half of that contract: it cross-parses both
+//! declarations and fails the lint the moment either side is edited to
+//! disagree — before any test runs, and even when the tree doesn't
+//! compile.
+//!
+//! The resolver evaluates `const NAME: Ty = EXPR;` declarations where
+//! `EXPR` is an integer literal, a `+`/`*` chain of literals
+//! (`64 * 1024`), or a path to another constant (`ActivityTracker::
+//! DEFAULT_INIT`) chased — by its final segment — through the pin's
+//! `search` file list. Anything it cannot resolve is a loud finding,
+//! never a silent pass.
+
+use crate::config::{LayoutPin, MirrorPin};
+use crate::rules::Finding;
+use crate::scrub::scrub;
+use std::path::Path;
+
+/// Finding ID for a resolver failure (missing file/const, unsupported
+/// expression shape).
+pub const MIRROR_UNRESOLVED: &str = "MIRROR-UNRESOLVED-001";
+
+/// Checks one mirror pin, returning findings on mismatch or resolver
+/// failure.
+pub fn check_mirror(root: &Path, pin: &MirrorPin) -> Vec<Finding> {
+    let left = resolve(root, &pin.left.0, &pin.left.1, &pin.search, 0);
+    let right = resolve(root, &pin.right.0, &pin.right.1, &pin.search, 0);
+    match (left, right) {
+        (Ok(l), Ok(r)) if l.value == r.value => Vec::new(),
+        (Ok(l), Ok(r)) => vec![Finding {
+            rule: leak_id(&pin.id),
+            file: pin.left.0.clone(),
+            line: l.line,
+            excerpt: l.excerpt,
+            message: format!(
+                "mirror constant {} = {} disagrees with {}#{} = {} (line {}); these must \
+                 stay bit-identical for the adversarial scenario timing to mean anything",
+                pin.left.1, l.value, pin.right.0, pin.right.1, r.value, r.line
+            ),
+        }],
+        (l, r) => [(&pin.left, l), (&pin.right, r)]
+            .into_iter()
+            .filter_map(|(anchor, res)| {
+                res.err().map(|e| Finding {
+                    rule: MIRROR_UNRESOLVED,
+                    file: anchor.0.clone(),
+                    line: 1,
+                    excerpt: format!("{}#{}", anchor.0, anchor.1),
+                    message: format!("mirror pin `{}`: {e}", pin.id),
+                })
+            })
+            .collect(),
+    }
+}
+
+/// A resolved constant: its integer value and where the declaration sits.
+struct Resolved {
+    value: i128,
+    line: usize,
+    excerpt: String,
+}
+
+fn resolve(
+    root: &Path,
+    file: &str,
+    name: &str,
+    search: &[String],
+    depth: u32,
+) -> Result<Resolved, String> {
+    if depth > 5 {
+        return Err(format!("`{name}`: resolution chain deeper than 5 — cycle?"));
+    }
+    let text =
+        std::fs::read_to_string(root.join(file)).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let src = scrub(&text);
+    // Find `const NAME:` on a scrubbed line, join lines up to the `;`.
+    let needle = format!("const {name}:");
+    let start = src
+        .scrubbed
+        .iter()
+        .position(|l| l.contains(&needle))
+        .ok_or_else(|| format!("`const {name}` not found in {file}"))?;
+    let mut decl = String::new();
+    for l in &src.scrubbed[start..] {
+        decl.push_str(l);
+        decl.push(' ');
+        if l.contains(';') {
+            break;
+        }
+    }
+    let eq = decl
+        .find('=')
+        .ok_or_else(|| format!("`const {name}` in {file} has no `=`"))?;
+    let semi = decl[eq..]
+        .find(';')
+        .map(|p| eq + p)
+        .ok_or_else(|| format!("`const {name}` in {file} has no `;`"))?;
+    let expr = decl[eq + 1..semi].trim().to_owned();
+    let value = eval(root, file, &expr, search, depth)
+        .map_err(|e| format!("`const {name}` in {file}: {e}"))?;
+    Ok(Resolved {
+        value,
+        line: start + 1,
+        excerpt: src.raw[start].trim().to_owned(),
+    })
+}
+
+/// Evaluates an expression: literal, `a * b` / `a + b` chains, or a
+/// path whose final segment is chased through `file` itself then the
+/// `search` list.
+fn eval(
+    root: &Path,
+    file: &str,
+    expr: &str,
+    search: &[String],
+    depth: u32,
+) -> Result<i128, String> {
+    // `+` then `*` precedence over literal/path atoms; no parens — the
+    // constants this guards are simple by design.
+    if let Some((l, r)) = split_top(expr, '+') {
+        return Ok(eval(root, file, l, search, depth)? + eval(root, file, r, search, depth)?);
+    }
+    if let Some((l, r)) = split_top(expr, '*') {
+        return Ok(eval(root, file, l, search, depth)? * eval(root, file, r, search, depth)?);
+    }
+    let atom = expr.trim();
+    if atom.starts_with(|c: char| c.is_ascii_digit()) {
+        return parse_int(atom);
+    }
+    // Path atom: chase the final segment through this file, then search.
+    let last = atom
+        .rsplit("::")
+        .next()
+        .unwrap_or(atom)
+        .trim()
+        .trim_start_matches("Self::");
+    if last.is_empty() || !last.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(format!("unsupported expression `{expr}`"));
+    }
+    let mut tried = Vec::new();
+    for candidate in std::iter::once(file).chain(search.iter().map(String::as_str)) {
+        match resolve(root, candidate, last, search, depth + 1) {
+            Ok(r) => return Ok(r.value),
+            Err(e) => tried.push(e),
+        }
+    }
+    Err(format!("cannot resolve `{atom}`: {}", tried.join("; ")))
+}
+
+/// Splits at the first top-level occurrence of `op` (no paren tracking —
+/// parenthesised knob expressions are out of scope and error later).
+fn split_top(expr: &str, op: char) -> Option<(&str, &str)> {
+    expr.find(op).map(|i| (&expr[..i], &expr[i + 1..]))
+}
+
+fn parse_int(s: &str) -> Result<i128, String> {
+    let mut cleaned: String = s.chars().filter(|c| *c != '_').collect();
+    for suffix in [
+        "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+    ] {
+        if let Some(stripped) = cleaned.strip_suffix(suffix) {
+            cleaned = stripped.to_owned();
+            break;
+        }
+    }
+    let (digits, radix) = if let Some(hex) = cleaned.strip_prefix("0x") {
+        (hex, 16)
+    } else if let Some(bin) = cleaned.strip_prefix("0b") {
+        (bin, 2)
+    } else if let Some(oct) = cleaned.strip_prefix("0o") {
+        (oct, 8)
+    } else {
+        (cleaned.as_str(), 10)
+    };
+    i128::from_str_radix(digits, radix).map_err(|e| format!("bad integer `{s}`: {e}"))
+}
+
+/// Checks one layout pin: parses the struct's fields, computes a
+/// natural-alignment size in declaration order (an upper bound the
+/// compiler may only improve on), and compares against the budget. The
+/// runtime `size_of` tests remain the ground truth; this catches a grown
+/// field at lint time.
+pub fn check_layout(root: &Path, pin: &LayoutPin) -> Vec<Finding> {
+    let fail = |line: usize, excerpt: String, message: String| {
+        vec![Finding {
+            rule: leak_id(&pin.id),
+            file: pin.file.clone(),
+            line,
+            excerpt,
+            message,
+        }]
+    };
+    let text = match std::fs::read_to_string(root.join(&pin.file)) {
+        Ok(t) => t,
+        Err(e) => return fail(1, String::new(), format!("cannot read {}: {e}", pin.file)),
+    };
+    let src = scrub(&text);
+    let needle = format!("struct {} {{", pin.name);
+    let Some(start) = src.scrubbed.iter().position(|l| l.contains(&needle)) else {
+        return fail(
+            1,
+            String::new(),
+            format!("`struct {}` not found in {}", pin.name, pin.file),
+        );
+    };
+    let mut size: u64 = 0;
+    let mut max_align: u64 = 1;
+    for (off, line) in src.scrubbed[start + 1..].iter().enumerate() {
+        let lineno = start + 2 + off;
+        let trimmed = line.trim();
+        if trimmed.starts_with('}') {
+            break;
+        }
+        // Field lines look like `pub name: Type,`; skip attributes and
+        // blanks (docs are already scrubbed away).
+        let Some((_, ty)) = trimmed.split_once(':') else {
+            continue;
+        };
+        let ty = ty.trim().trim_end_matches(',').trim();
+        let Some((fsize, falign)) = primitive_layout(ty) else {
+            return fail(
+                lineno,
+                src.raw[lineno - 1].trim().to_owned(),
+                format!(
+                    "field type `{ty}` is not a fixed-size primitive; the static layout pin \
+                     cannot bound it — shrink it or move the pin to a runtime test"
+                ),
+            );
+        };
+        size = size.div_ceil(falign) * falign + fsize;
+        max_align = max_align.max(falign);
+    }
+    size = size.div_ceil(max_align) * max_align;
+    if size > pin.max_bytes {
+        return fail(
+            start + 1,
+            src.raw[start].trim().to_owned(),
+            format!(
+                "`{}` computes to {size} bytes > the {}-byte budget; the packed trace-store \
+                 economics (PR 8) assume records stay within it",
+                pin.name, pin.max_bytes
+            ),
+        );
+    }
+    Vec::new()
+}
+
+/// `(size, align)` for primitive types and `[T; N]` arrays of them.
+fn primitive_layout(ty: &str) -> Option<(u64, u64)> {
+    if let Some(inner) = ty.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let (elem, count) = inner.split_once(';')?;
+        let (esize, ealign) = primitive_layout(elem.trim())?;
+        let n: u64 = count.trim().parse().ok()?;
+        return Some((esize * n, ealign));
+    }
+    let s = match ty {
+        "u8" | "i8" | "bool" => 1,
+        "u16" | "i16" => 2,
+        "u32" | "i32" | "f32" | "char" => 4,
+        "u64" | "i64" | "f64" | "usize" | "isize" => 8,
+        "u128" | "i128" => 16,
+        _ => return None,
+    };
+    Some((s, s))
+}
+
+/// Pin IDs come from config (a `String`); findings carry `&'static str`
+/// rule IDs. Leak the handful of configured IDs once per run — bounded
+/// by the pin count, so this is not a creeping leak.
+fn leak_id(id: &str) -> &'static str {
+    Box::leak(id.to_owned().into_boxed_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn write(dir: &Path, rel: &str, text: &str) {
+        let p = dir.join(rel);
+        fs::create_dir_all(p.parent().expect("has parent")).expect("mkdir");
+        fs::write(p, text).expect("write");
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("smt-lint-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    #[test]
+    fn chases_path_constants_through_search_files() {
+        let d = tmpdir("mirror-chase");
+        write(&d, "left.rs", "pub const WINDOW: u32 = 256;\n");
+        write(
+            &d,
+            "right.rs",
+            "pub const WINDOW: u32 = ActivityTracker::DEFAULT_INIT;\n",
+        );
+        write(&d, "deep.rs", "    pub const DEFAULT_INIT: u32 = 256;\n");
+        let pin = MirrorPin {
+            id: "MIRROR-T".into(),
+            left: ("left.rs".into(), "WINDOW".into()),
+            right: ("right.rs".into(), "WINDOW".into()),
+            search: vec!["deep.rs".into()],
+        };
+        assert!(check_mirror(&d, &pin).is_empty());
+        // Now drift the deep side.
+        write(&d, "deep.rs", "    pub const DEFAULT_INIT: u32 = 300;\n");
+        let findings = check_mirror(&d, &pin);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("256"));
+        assert!(findings[0].message.contains("300"));
+    }
+
+    #[test]
+    fn unresolvable_is_loud_not_silent() {
+        let d = tmpdir("mirror-unresolved");
+        write(&d, "left.rs", "pub const W: u32 = 1;\n");
+        write(&d, "right.rs", "pub const W: u32 = some_fn();\n");
+        let pin = MirrorPin {
+            id: "MIRROR-T".into(),
+            left: ("left.rs".into(), "W".into()),
+            right: ("right.rs".into(), "W".into()),
+            search: vec![],
+        };
+        let findings = check_mirror(&d, &pin);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, MIRROR_UNRESOLVED);
+    }
+
+    #[test]
+    fn products_and_underscores_evaluate() {
+        let d = tmpdir("mirror-product");
+        write(&d, "a.rs", "pub const S: u64 = 64 * 1_024;\n");
+        write(&d, "b.rs", "pub const S: u64 = 65536;\n");
+        let pin = MirrorPin {
+            id: "MIRROR-T".into(),
+            left: ("a.rs".into(), "S".into()),
+            right: ("b.rs".into(), "S".into()),
+            search: vec![],
+        };
+        assert!(check_mirror(&d, &pin).is_empty(), "64 * 1_024 == 65536");
+    }
+
+    #[test]
+    fn layout_pin_passes_and_fails() {
+        let d = tmpdir("layout");
+        write(
+            &d,
+            "p.rs",
+            "pub struct Packed {\n    pub pc: u64,\n    dep: [u16; 2],\n    meta: u16,\n    aux: u16,\n}\n",
+        );
+        let pin = LayoutPin {
+            id: "LAYOUT-T".into(),
+            file: "p.rs".into(),
+            name: "Packed".into(),
+            max_bytes: 16,
+        };
+        assert!(check_layout(&d, &pin).is_empty());
+        let tight = LayoutPin {
+            max_bytes: 15,
+            ..pin
+        };
+        let findings = check_layout(&d, &tight);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("16 bytes"));
+    }
+}

@@ -1,0 +1,482 @@
+//! The rule set: line-oriented matchers over scrubbed source.
+//!
+//! Each rule has a stable ID (`GROUP-NAME-NNN`) that findings, allowlist
+//! entries, fixtures, and ARCHITECTURE.md all reference. Rules belong to
+//! one of three groups — `determinism`, `panic`, `unsafe` — and
+//! `lint.toml` decides which groups run in which crate.
+//!
+//! These are deliberately *syntactic* checks. They trade a small
+//! false-positive rate (paid off through the justified allowlist) for
+//! zero build-time cost and total independence from the compiler: the
+//! lint still works when the tree doesn't compile, which is exactly when
+//! a refactor is mid-flight and most likely to smuggle in a stray
+//! `unwrap`.
+
+use crate::scrub::ScrubbedFile;
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule ID, e.g. `PANIC-UNWRAP-001`.
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The raw source line (trimmed) the rule fired on.
+    pub excerpt: String,
+    /// What the rule protects and what to do instead.
+    pub message: String,
+}
+
+/// Determinism: no hash containers with the std `RandomState` hasher.
+pub const DET_HASH: &str = "DET-HASH-001";
+/// Determinism: no ambient wall-clock or entropy sources.
+pub const DET_TIME: &str = "DET-TIME-002";
+/// Determinism: no float `==` / `!=` against float literals.
+pub const DET_FLOAT: &str = "DET-FLOAT-003";
+/// Panic-freedom: no bare `.unwrap()`.
+pub const PANIC_UNWRAP: &str = "PANIC-UNWRAP-001";
+/// Panic-freedom: no `.expect(…)` either — typed errors or allowlist.
+pub const PANIC_EXPECT: &str = "PANIC-EXPECT-002";
+/// Panic-freedom: no `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+pub const PANIC_MACRO: &str = "PANIC-MACRO-003";
+/// Panic-freedom: no unchecked `container[index]` subscripting.
+pub const PANIC_INDEX: &str = "PANIC-INDEX-004";
+/// Unsafe hygiene: every `unsafe` needs an adjacent `// SAFETY:` comment.
+pub const UNSAFE_NODOC: &str = "UNSAFE-NODOC-001";
+/// Unsafe hygiene: unsafe-free crate roots must `#![forbid(unsafe_code)]`.
+pub const UNSAFE_FORBID: &str = "UNSAFE-FORBID-002";
+
+/// All rule IDs in a group, or `None` for an unknown group name.
+pub fn group_rules(group: &str) -> Option<&'static [&'static str]> {
+    match group {
+        "determinism" => Some(&[DET_HASH, DET_TIME, DET_FLOAT]),
+        "panic" => Some(&[PANIC_UNWRAP, PANIC_EXPECT, PANIC_MACRO, PANIC_INDEX]),
+        "unsafe" => Some(&[UNSAFE_NODOC, UNSAFE_FORBID]),
+        _ => None,
+    }
+}
+
+/// The three valid group names, for config validation and `--list-rules`.
+pub const GROUPS: &[&str] = &["determinism", "panic", "unsafe"];
+
+/// Runs every rule in `rules` over one scrubbed file. `crate_root` marks
+/// files that are a crate root (`src/lib.rs`, `src/main.rs`,
+/// `src/bin/*.rs`) for the `UNSAFE-FORBID-002` whole-file check.
+pub fn check_file(
+    file: &str,
+    src: &ScrubbedFile,
+    rules: &[&'static str],
+    crate_root: bool,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let has = |r: &str| rules.contains(&r);
+
+    // Byte-level matchers below slice at byte offsets; blank any
+    // non-ASCII code character (only prose has them once strings and
+    // comments are scrubbed) so offsets are always char boundaries.
+    let ascii: Vec<String> = src
+        .scrubbed
+        .iter()
+        .map(|l| {
+            l.chars()
+                .map(|c| if c.is_ascii() { c } else { ' ' })
+                .collect()
+        })
+        .collect();
+
+    for (idx, line) in ascii.iter().enumerate() {
+        if src.test_mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut push = |rule: &'static str, message: String| {
+            out.push(Finding {
+                rule,
+                file: file.to_owned(),
+                line: lineno,
+                excerpt: src.raw[idx].trim().to_owned(),
+                message,
+            });
+        };
+
+        if has(DET_HASH) && det_hash_hit(line) {
+            push(
+                DET_HASH,
+                "std HashMap/HashSet iterate in RandomState order, which varies per process; \
+                 use fxhash::FxHashMap, a BTreeMap, or sort before iterating"
+                    .into(),
+            );
+        }
+        if has(DET_TIME) {
+            if let Some(tok) = det_time_hit(line) {
+                push(
+                    DET_TIME,
+                    format!(
+                        "`{tok}` is ambient wall-clock/entropy; simulated state must derive \
+                         only from the seed and the config"
+                    ),
+                );
+            }
+        }
+        if has(DET_FLOAT) && det_float_hit(line) {
+            push(
+                DET_FLOAT,
+                "float == / != against a literal is representation-fragile; compare with an \
+                 epsilon or restructure around integers"
+                    .into(),
+            );
+        }
+        if has(PANIC_UNWRAP) && line.contains(".unwrap()") {
+            push(
+                PANIC_UNWRAP,
+                "bare `.unwrap()` in a panic-free zone; surface a typed RunError (PR 7 \
+                 plumbing) or allowlist with justification"
+                    .into(),
+            );
+        }
+        if has(PANIC_EXPECT) && line.contains(".expect(") {
+            push(
+                PANIC_EXPECT,
+                "`.expect(…)` still panics; surface a typed RunError or allowlist with \
+                 justification"
+                    .into(),
+            );
+        }
+        if has(PANIC_MACRO) {
+            if let Some(mac) = panic_macro_hit(line) {
+                push(
+                    PANIC_MACRO,
+                    format!("`{mac}` aborts the worker; return a typed error instead"),
+                );
+            }
+        }
+        if has(PANIC_INDEX) {
+            for _ in 0..panic_index_hits(line) {
+                push(
+                    PANIC_INDEX,
+                    "unchecked `container[index]` can panic out-of-bounds; use `.get()` or \
+                     allowlist with a bounds argument"
+                        .into(),
+                );
+            }
+        }
+        if has(UNSAFE_NODOC) && unsafe_token(line) && !safety_comment_nearby(&src.raw, idx) {
+            push(
+                UNSAFE_NODOC,
+                "`unsafe` without an adjacent `// SAFETY:` comment; state the invariant that \
+                 makes it sound"
+                    .into(),
+            );
+        }
+    }
+
+    if has(UNSAFE_FORBID) && crate_root {
+        let has_forbid = src
+            .scrubbed
+            .iter()
+            .any(|l| l.contains("#![forbid(unsafe_code)]"));
+        let has_unsafe = src.scrubbed.iter().any(|l| unsafe_token(l));
+        if !has_forbid && !has_unsafe {
+            out.push(Finding {
+                rule: UNSAFE_FORBID,
+                file: file.to_owned(),
+                line: 1,
+                excerpt: src.raw.first().cloned().unwrap_or_default(),
+                message: "crate root has no `unsafe` but does not `#![forbid(unsafe_code)]`; \
+                          forbid it so none can creep in"
+                    .into(),
+            });
+        }
+    }
+
+    out
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// `needle` appears in `line` with non-identifier chars on both sides.
+fn word_hit(line: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident(line[..at].chars().next_back().unwrap_or(' '));
+        let after_ok = !line[at + needle.len()..]
+            .chars()
+            .next()
+            .is_some_and(is_ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+fn det_hash_hit(line: &str) -> bool {
+    if line.contains("std::collections::HashMap") || line.contains("std::collections::HashSet") {
+        return true;
+    }
+    if line.contains("use std::collections::")
+        && (word_hit(line, "HashMap") || word_hit(line, "HashSet"))
+    {
+        return true;
+    }
+    word_hit(line, "RandomState") || word_hit(line, "DefaultHasher")
+}
+
+fn det_time_hit(line: &str) -> Option<&'static str> {
+    for tok in [
+        "Instant",
+        "SystemTime",
+        "thread_rng",
+        "from_entropy",
+        "getrandom",
+    ] {
+        if word_hit(line, tok) {
+            return Some(tok);
+        }
+    }
+    if line.contains("rand::random") {
+        return Some("rand::random");
+    }
+    None
+}
+
+/// Rough token stream for the float-comparison rule: identifiers/numbers
+/// and single operators. Number tokens stop before `..` so ranges don't
+/// read as floats.
+fn tokens(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let b = line.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+        } else if is_ident(c) {
+            let start = i;
+            while i < b.len() && is_ident(b[i] as char) {
+                i += 1;
+            }
+            // A digit-led token may continue over a single `.` (float
+            // literal) but not `..` (range) or `.ident` (method call).
+            if c.is_ascii_digit()
+                && i < b.len()
+                && b[i] == b'.'
+                && (i + 1 >= b.len()
+                    || (b[i + 1] != b'.' && !(b[i + 1] as char).is_alphabetic()
+                        || (b[i + 1] as char).is_ascii_digit()))
+            {
+                i += 1;
+                while i < b.len() && is_ident(b[i] as char) {
+                    i += 1;
+                }
+            }
+            out.push(&line[start..i]);
+        } else {
+            // Two-char operators we care about, else single char.
+            let two = &line[i..(i + 2).min(line.len())];
+            if matches!(two, "==" | "!=" | "<=" | ">=" | ".." | "=>" | "->" | "::") {
+                out.push(two);
+                i += 2;
+            } else {
+                out.push(&line[i..i + 1]);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_float_literal(tok: &str) -> bool {
+    let suffixed = tok.ends_with("f32") || tok.ends_with("f64");
+    let t = tok.trim_end_matches("f32").trim_end_matches("f64");
+    if !t.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
+        return false;
+    }
+    suffixed
+        || t.contains('.')
+        || (t.contains('e') || t.contains('E'))
+            && t.chars().all(|c| c.is_ascii_digit() || "eE+-_".contains(c))
+}
+
+fn det_float_hit(line: &str) -> bool {
+    let toks = tokens(line);
+    for (i, t) in toks.iter().enumerate() {
+        if *t == "==" || *t == "!=" {
+            let prev_float = i > 0 && is_float_literal(toks[i - 1]);
+            let next_float = toks.get(i + 1).is_some_and(|n| is_float_literal(n));
+            if prev_float || next_float {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn panic_macro_hit(line: &str) -> Option<&'static str> {
+    for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+        let name = &mac[..mac.len() - 1];
+        let mut start = 0;
+        while let Some(pos) = line[start..].find(mac) {
+            let at = start + pos;
+            let before_ok = at == 0 || !is_ident(line[..at].chars().next_back().unwrap_or(' '));
+            if before_ok {
+                return Some(mac);
+            }
+            start = at + name.len();
+        }
+    }
+    None
+}
+
+/// Keywords that may directly precede a `[` that opens an array *value*,
+/// not an index expression.
+const NON_INDEX_KEYWORDS: &[&str] = &["return", "break", "in", "as", "const", "static", "else"];
+
+/// Counts `expr[…]` subscript sites: a `[` whose previous non-space char
+/// ends an expression (identifier, `)`, `]`, `?`) and whose preceding
+/// identifier is not a keyword introducing an array literal/type.
+fn panic_index_hits(line: &str) -> usize {
+    let b = line.as_bytes();
+    let mut hits = 0;
+    for i in 0..b.len() {
+        if b[i] != b'[' {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && b[j - 1] == b' ' {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let prev = b[j - 1] as char;
+        if !(is_ident(prev) || prev == ')' || prev == ']' || prev == '?') {
+            continue;
+        }
+        if is_ident(prev) {
+            let mut k = j - 1;
+            while k > 0 && is_ident(b[k - 1] as char) {
+                k -= 1;
+            }
+            let ident = &line[k..j];
+            if NON_INDEX_KEYWORDS.contains(&ident) {
+                continue;
+            }
+            // A digit-led "identifier" directly after `[` start… tuple
+            // index like `.0[1]` is still a subscript; keep it.
+        }
+        hits += 1;
+    }
+    hits
+}
+
+fn unsafe_token(line: &str) -> bool {
+    word_hit(line, "unsafe")
+}
+
+fn safety_comment_nearby(raw: &[String], idx: usize) -> bool {
+    let lo = idx.saturating_sub(3);
+    raw[lo..=idx].iter().any(|l| l.contains("SAFETY:"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::scrub;
+
+    fn run(src: &str, rules: &[&'static str]) -> Vec<Finding> {
+        check_file("x.rs", &scrub(src), rules, false)
+    }
+
+    #[test]
+    fn det_hash_flags_std_maps_not_fx() {
+        assert_eq!(
+            run("use std::collections::HashMap;\n", &[DET_HASH]).len(),
+            1
+        );
+        assert_eq!(
+            run("let m: std::collections::HashSet<u32>;\n", &[DET_HASH]).len(),
+            1
+        );
+        assert!(run("use fxhash::FxHashMap;\n", &[DET_HASH]).is_empty());
+        assert!(run("use std::collections::BTreeMap;\n", &[DET_HASH]).is_empty());
+    }
+
+    #[test]
+    fn det_time_flags_clocks_not_duration() {
+        assert_eq!(run("let t = Instant::now();\n", &[DET_TIME]).len(), 1);
+        assert!(run("let d = Duration::from_secs(1);\n", &[DET_TIME]).is_empty());
+    }
+
+    #[test]
+    fn det_float_flags_literal_eq_only() {
+        assert_eq!(run("if x == 1.0 { }\n", &[DET_FLOAT]).len(), 1);
+        assert_eq!(run("if 0.5f64 != y { }\n", &[DET_FLOAT]).len(), 1);
+        assert!(run("if x == 1 { }\n", &[DET_FLOAT]).is_empty());
+        assert!(run("for i in 0..10 { }\n", &[DET_FLOAT]).is_empty());
+        assert!(run("if x <= 1.0 { }\n", &[DET_FLOAT]).is_empty());
+    }
+
+    #[test]
+    fn panic_rules_fire_outside_strings_only() {
+        assert_eq!(run("x.unwrap();\n", &[PANIC_UNWRAP]).len(), 1);
+        assert!(run("log(\"don't .unwrap() here\");\n", &[PANIC_UNWRAP]).is_empty());
+        assert_eq!(run("panic!(\"boom\");\n", &[PANIC_MACRO]).len(), 1);
+        assert!(run("silence_chaos_panics();\n", &[PANIC_MACRO]).is_empty());
+    }
+
+    #[test]
+    fn index_rule_counts_subscripts_not_types() {
+        assert_eq!(run("let y = xs[i] + ys[j];\n", &[PANIC_INDEX]).len(), 2);
+        assert!(run("fn f(x: [u8; 4]) {}\n", &[PANIC_INDEX]).is_empty());
+        assert!(run("let a = [0u8; 4];\n", &[PANIC_INDEX]).is_empty());
+        assert!(run("#[derive(Debug)]\n", &[PANIC_INDEX]).is_empty());
+        assert!(run("vec![1, 2, 3];\n", &[PANIC_INDEX]).is_empty());
+        assert!(run("return [a, b];\n", &[PANIC_INDEX]).is_empty());
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        assert_eq!(run("unsafe { go() }\n", &[UNSAFE_NODOC]).len(), 1);
+        assert!(run(
+            "// SAFETY: bounds checked above\nunsafe { go() }\n",
+            &[UNSAFE_NODOC]
+        )
+        .is_empty());
+        assert!(run("#![forbid(unsafe_code)]\n", &[UNSAFE_NODOC]).is_empty());
+    }
+
+    #[test]
+    fn crate_root_must_forbid() {
+        let f = check_file(
+            "src/lib.rs",
+            &scrub("pub fn f() {}\n"),
+            &[UNSAFE_FORBID],
+            true,
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, UNSAFE_FORBID);
+        let ok = check_file(
+            "src/lib.rs",
+            &scrub("#![forbid(unsafe_code)]\npub fn f() {}\n"),
+            &[UNSAFE_FORBID],
+            true,
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(run(src, &[PANIC_UNWRAP]).is_empty());
+    }
+}

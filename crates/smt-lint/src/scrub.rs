@@ -1,0 +1,346 @@
+//! Source scrubbing: turns Rust source into a same-shape text where
+//! comments and string/char-literal *contents* are blanked to spaces, so
+//! the line-oriented rule matchers in [`crate::rules`] never fire on
+//! prose — a doc comment discussing `.unwrap()` or an error string
+//! containing `panic` is invisible to them.
+//!
+//! The scrubber also marks *test regions*: lines covered by a
+//! `#[cfg(test)]` or `#[test]` item. Rules skip findings there — test
+//! code may unwrap and hash freely; the invariants protect the paths a
+//! production sweep actually executes.
+//!
+//! This is a hand-rolled state machine, not a real lexer. It understands
+//! exactly as much Rust as the rules need: line/block (nested) comments,
+//! plain and raw strings (any `#` count, `b`/`r`/`br` prefixes), char
+//! literals vs. lifetimes, and brace depth for attribute-to-item span
+//! tracking. Anything fancier belongs in clippy, which runs beside it.
+
+/// One source file, scrubbed and annotated.
+#[derive(Debug)]
+pub struct ScrubbedFile {
+    /// Original lines, used for excerpts, allowlist `pattern` matching,
+    /// and `// SAFETY:` comment detection.
+    pub raw: Vec<String>,
+    /// Same lines with comments and literal contents blanked to spaces.
+    /// Quote delimiters are kept so `.expect("…")` still shows its call
+    /// shape; everything between them is whitespace.
+    pub scrubbed: Vec<String>,
+    /// `true` for lines inside a `#[cfg(test)]` / `#[test]` item.
+    pub test_mask: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Scrubs `text` into per-line code-only content plus a test-region mask.
+pub fn scrub(text: &str) -> ScrubbedFile {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                    continue;
+                }
+                // Raw / byte string prefixes: r", r#", br", b".
+                if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    if let Some((hashes, consumed)) = raw_str_open(&chars, i) {
+                        state = State::RawStr(hashes);
+                        for _ in 0..consumed {
+                            out.push(' ');
+                        }
+                        out.push('"');
+                        i += consumed + 1;
+                        continue;
+                    }
+                    if c == 'b' && next == Some('"') {
+                        state = State::Str;
+                        out.push(' ');
+                        out.push('"');
+                        i += 2;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Distinguish a char literal from a lifetime: a
+                    // lifetime is `'` + ident with no closing quote.
+                    if next == Some('\\') {
+                        state = State::CharLit;
+                        out.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    if let (Some(n), Some(after)) = (next, chars.get(i + 2).copied()) {
+                        if after == '\'' && n != '\'' {
+                            // 'x' — single-char literal.
+                            out.push('\'');
+                            out.push(' ');
+                            out.push('\'');
+                            i += 3;
+                            continue;
+                        }
+                        let _ = n;
+                    }
+                    // Lifetime (or stray quote): pass through as code.
+                    out.push(c);
+                    i += 1;
+                    continue;
+                }
+                out.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(if next == Some('\n') { '\n' } else { ' ' });
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    state = State::Code;
+                    out.push('"');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && raw_str_closes(&chars, i, hashes) {
+                    state = State::Code;
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    state = State::Code;
+                    out.push('\'');
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    let raw: Vec<String> = text.lines().map(str::to_owned).collect();
+    let scrubbed: Vec<String> = out.lines().map(str::to_owned).collect();
+    let test_mask = mark_test_regions(&out, raw.len());
+    ScrubbedFile {
+        raw,
+        scrubbed,
+        test_mask,
+    }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If `chars[i..]` opens a raw string (`r"`, `r#"`, `br##"` …), returns
+/// `(hash_count, chars_before_the_quote)`.
+fn raw_str_open(chars: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, j - i))
+    } else {
+        None
+    }
+}
+
+fn raw_str_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Marks every line covered by a `#[cfg(test)]` or `#[test]` item.
+///
+/// From each attribute occurrence, scan forward to the first `{` and mark
+/// through its matching `}` (intervening attributes contain no braces).
+/// Operates on scrubbed text, so attribute look-alikes in strings or
+/// comments cannot open a region.
+fn mark_test_regions(scrubbed: &str, n_lines: usize) -> Vec<bool> {
+    let mut mask = vec![false; n_lines];
+    let bytes = scrubbed.as_bytes();
+    let mut line_of = Vec::with_capacity(bytes.len());
+    let mut line = 0usize;
+    for &b in bytes {
+        line_of.push(line);
+        if b == b'\n' {
+            line += 1;
+        }
+    }
+    for needle in ["#[cfg(test)]", "#[cfg(all(test", "#[test]"] {
+        let mut start = 0;
+        while let Some(pos) = scrubbed[start..].find(needle) {
+            let at = start + pos;
+            start = at + needle.len();
+            // Find the first `{` after the attribute and mark through its
+            // matching `}`.
+            let mut depth = 0i32;
+            let mut opened = false;
+            for (off, b) in bytes[at..].iter().enumerate() {
+                match b {
+                    b'{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    b'}' => depth -= 1,
+                    b';' if !opened => break, // `#[cfg(test)] mod t;` — out-of-line, give up
+                    _ => {}
+                }
+                if opened {
+                    let l = line_of[at + off];
+                    if l < mask.len() {
+                        mask[l] = true;
+                    }
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            // Mark the attribute's own lines too.
+            let l = line_of[at];
+            if l < mask.len() {
+                mask[l] = true;
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let s = scrub("let x = \"panic! .unwrap()\"; // Instant::now\n");
+        assert!(!s.scrubbed[0].contains("panic"));
+        assert!(!s.scrubbed[0].contains("unwrap"));
+        assert!(!s.scrubbed[0].contains("Instant"));
+        assert!(s.raw[0].contains("Instant"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let s = scrub("let x = r##\"has .unwrap() inside\"##; x.len();\n");
+        assert!(!s.scrubbed[0].contains("unwrap"));
+        assert!(s.scrubbed[0].contains("x.len()"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let s = scrub("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }\n");
+        assert!(s.scrubbed[0].contains("<'a>"));
+        assert!(!s.scrubbed[0].contains('x') || !s.scrubbed[0].contains("'x'"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scrub("a /* one /* two */ still */ b\n");
+        assert!(s.scrubbed[0].contains('a'));
+        assert!(s.scrubbed[0].contains('b'));
+        assert!(!s.scrubbed[0].contains("still"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_live() {}\n";
+        let s = scrub(src);
+        assert_eq!(s.test_mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_attr_fn_is_masked() {
+        let src = "fn live() {}\n#[test]\nfn t() {\n    boom();\n}\n";
+        let s = scrub(src);
+        assert_eq!(s.test_mask, vec![false, true, true, true, true]);
+    }
+}

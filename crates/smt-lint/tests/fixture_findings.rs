@@ -1,0 +1,110 @@
+//! Fixture-based self-tests: every deliberately-bad fixture must produce
+//! exactly the expected rule IDs at the expected lines, and the clean
+//! fixture none — so a rule that drifts (wrong line, extra hit, silent
+//! no-op) fails here before it mis-lints the real tree.
+
+use smt_lint::allowlist::AllowList;
+use smt_lint::config;
+use smt_lint::rules::{self, check_file};
+use smt_lint::scrub::scrub;
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture(rel: &str) -> String {
+    let p = fixture_root().join(rel);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// Every rule ID of every group, so fixtures are checked against the
+/// full catalogue regardless of lint.toml scoping.
+fn all_rules() -> Vec<&'static str> {
+    rules::GROUPS
+        .iter()
+        .flat_map(|g| rules::group_rules(g).unwrap_or(&[]).iter().copied())
+        .collect()
+}
+
+fn ids_and_lines(file: &str, crate_root: bool) -> Vec<(&'static str, usize)> {
+    let src = scrub(&fixture(file));
+    check_file(file, &src, &all_rules(), crate_root)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn determinism_fixture_findings() {
+    assert_eq!(
+        ids_and_lines("bad/determinism.rs", false),
+        vec![
+            ("DET-HASH-001", 4),
+            ("DET-TIME-002", 5),
+            ("DET-TIME-002", 8),
+            ("DET-HASH-001", 9),
+            ("DET-FLOAT-003", 14),
+        ]
+    );
+}
+
+#[test]
+fn panic_fixture_findings() {
+    assert_eq!(
+        ids_and_lines("bad/panics.rs", false),
+        vec![
+            ("PANIC-UNWRAP-001", 4),
+            ("PANIC-EXPECT-002", 5),
+            ("PANIC-MACRO-003", 7),
+            ("PANIC-INDEX-004", 9),
+        ]
+    );
+}
+
+#[test]
+fn unsafe_fixture_findings() {
+    // Line 4 has no SAFETY comment; line 9 does and must stay silent.
+    assert_eq!(
+        ids_and_lines("bad/unsafe_nodoc.rs", false),
+        vec![("UNSAFE-NODOC-001", 4)]
+    );
+}
+
+#[test]
+fn missing_forbid_fixture_findings() {
+    assert_eq!(
+        ids_and_lines("bad/missing_forbid.rs", true),
+        vec![("UNSAFE-FORBID-002", 1)]
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    assert_eq!(ids_and_lines("good/clean.rs", true), vec![]);
+}
+
+/// End-to-end over the ci-bad tree — the same invocation CI uses to prove
+/// the lint job can fail: violations in the crate root plus a mismatched
+/// mirror pair, all surfaced with exact locations.
+#[test]
+fn ci_bad_tree_fails_with_expected_findings() {
+    let root = fixture_root().join("ci-bad");
+    let cfg_text = std::fs::read_to_string(root.join("lint.toml")).expect("ci-bad lint.toml");
+    let cfg = config::parse(&cfg_text).expect("ci-bad config parses");
+    let report = smt_lint::run(&root, &cfg, &AllowList::default()).expect("lint run");
+    let got: Vec<(String, String, usize)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.to_string(), f.file.clone(), f.line))
+        .collect();
+    for expected in [
+        ("MIRROR-CI-BAD", "left.rs", 3),
+        ("PANIC-MACRO-003", "src/lib.rs", 4),
+        ("UNSAFE-FORBID-002", "src/lib.rs", 1),
+    ] {
+        let key = (expected.0.to_string(), expected.1.to_string(), expected.2);
+        assert!(got.contains(&key), "missing {expected:?} in {got:?}");
+    }
+    assert!(!report.findings.is_empty(), "ci-bad must fail the lint");
+}

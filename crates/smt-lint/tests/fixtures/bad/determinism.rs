@@ -1,0 +1,15 @@
+//! Deliberately non-deterministic code for the smt-lint self-tests.
+//! Never compiled — the tests scan it as text and pin exact findings.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn ambient() -> u64 {
+    let started = Instant::now();
+    let map = std::collections::HashMap::<u32, u32>::new();
+    map.len() as u64 + started.elapsed().as_nanos() as u64
+}
+
+pub fn fragile(x: f64) -> bool {
+    x == 0.1
+}

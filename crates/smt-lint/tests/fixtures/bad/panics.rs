@@ -1,0 +1,10 @@
+//! Deliberately panicky code for the smt-lint self-tests.
+
+pub fn boom(v: &[u32]) -> u32 {
+    let first = v.iter().next().unwrap();
+    let second = v.get(1).expect("second element");
+    if *first > 9000 {
+        panic!("over nine thousand");
+    }
+    first + second + v[2]
+}

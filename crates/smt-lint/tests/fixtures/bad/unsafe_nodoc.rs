@@ -1,0 +1,10 @@
+//! Undocumented unsafe for the smt-lint self-tests.
+
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn peek_documented(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is valid, aligned and initialised.
+    unsafe { *p }
+}

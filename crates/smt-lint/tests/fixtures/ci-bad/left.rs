@@ -1,0 +1,3 @@
+//! One side of the deliberately mismatched mirror pair.
+
+pub const WINDOW: u32 = 256;

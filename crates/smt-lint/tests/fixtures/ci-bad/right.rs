@@ -1,0 +1,3 @@
+//! The other side of the deliberately mismatched mirror pair.
+
+pub const WINDOW: u32 = 512;

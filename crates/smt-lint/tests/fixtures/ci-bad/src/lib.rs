@@ -1,0 +1,5 @@
+//! ci-bad crate root: panics, no forbid attribute.
+
+pub fn boom() {
+    panic!("ci-bad fixture");
+}

@@ -1,0 +1,17 @@
+//! Clean fixture: passes every rule group the lint knows about.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+pub fn ordered() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+pub fn close_enough(x: f64) -> bool {
+    (x - 0.1).abs() < 1e-12
+}
+
+pub fn safe_get(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or_default()
+}

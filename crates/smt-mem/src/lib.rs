@@ -84,6 +84,16 @@ impl AccessOutcome {
     }
 }
 
+/// Baseline unified-L2 hit latency in cycles (Table 2).
+///
+/// Named (rather than inlined in [`MemoryConfig::default`]) because it is
+/// the anchor of a cross-crate mirror chain: `smt-sim/knobs.rs` re-exports
+/// it as `L2_DETECT_DELAY` — the cycle at which a policy *detects* an L2
+/// miss — and `smt-workloads/family.rs` mirrors that value for adversarial
+/// scenario timing. The static mirror check (`cargo run -p smt-lint`) and
+/// the `knob_mirrors_stay_in_sync` test both pin the chain.
+pub const DEFAULT_L2_LATENCY: u32 = 20;
+
 /// Configuration of the full memory hierarchy.
 ///
 /// Defaults are the paper's baseline (Table 2).
@@ -129,7 +139,7 @@ impl Default for MemoryConfig {
                 size_bytes: 512 * 1024,
                 ways: 8,
                 line_bytes: 64,
-                latency: 20,
+                latency: DEFAULT_L2_LATENCY,
                 banks: 8,
             },
             memory_latency: 300,

@@ -7,7 +7,10 @@ use smt_sim::{SimConfig, SimResult, Simulator};
 use smt_workloads::spec;
 
 fn run(benches: &[&str], policy: impl Into<AnyPolicy>, cycles: u64) -> SimResult {
-    let profiles: Vec<_> = benches.iter().map(|b| spec::profile(b).unwrap()).collect();
+    let profiles: Vec<_> = benches
+        .iter()
+        .map(|b| spec::profile(b).expect("registry benchmark"))
+        .collect();
     let mut sim = Simulator::new(SimConfig::baseline(benches.len()), &profiles, policy, 42);
     sim.prewarm(150_000);
     sim.run_cycles(10_000);

@@ -21,6 +21,14 @@ pub const DCRA_ACTIVITY_WINDOW: u32 = ActivityTracker::DEFAULT_INIT;
 /// classification ([`FlushPlusPlus::WINDOW`]).
 pub const FLUSHPP_PRESSURE_WINDOW: u64 = FlushPlusPlus::WINDOW;
 
+/// Cycles after issue at which a load that missed the L2 is detected and
+/// reported to the policy — the baseline L2 hit latency
+/// ([`smt_mem::DEFAULT_L2_LATENCY`]). The sync test below pins it to the
+/// live [`SimConfig::baseline`](crate::SimConfig::baseline) value, so a config whose L2 latency
+/// drifts from the named constant fails here rather than silently
+/// mistiming the STALL/FLUSH adversaries.
+pub const L2_DETECT_DELAY: u32 = smt_mem::DEFAULT_L2_LATENCY;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -42,6 +50,7 @@ mod tests {
             smt_workloads::family::L2_DETECT_DELAY,
             SimConfig::baseline(2).l2_detect_delay()
         );
+        assert_eq!(L2_DETECT_DELAY, SimConfig::baseline(2).l2_detect_delay());
         assert_eq!(
             smt_workloads::family::MAX_FAMILY_THREADS,
             smt_isa::ThreadId::MAX_THREADS

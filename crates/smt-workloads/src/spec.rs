@@ -20,7 +20,7 @@
 use crate::profile::{
     BenchmarkProfile, BranchBehavior, InstMix, MemBehavior, PhaseBehavior, Suite,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 /// Shape parameters for one benchmark, expanded into a full profile.
@@ -382,8 +382,11 @@ fn expand(shape: &Shape) -> BenchmarkProfile {
         .expect("built-in profile must validate")
 }
 
-fn registry() -> &'static HashMap<&'static str, BenchmarkProfile> {
-    static REGISTRY: OnceLock<HashMap<&'static str, BenchmarkProfile>> = OnceLock::new();
+// BTreeMap rather than HashMap: lookup is cold (once per RunSpec), and a
+// deterministic iteration order means no future consumer can accidentally
+// pick up RandomState ordering (DET-HASH-001 in `smt-lint`).
+fn registry() -> &'static BTreeMap<&'static str, BenchmarkProfile> {
+    static REGISTRY: OnceLock<BTreeMap<&'static str, BenchmarkProfile>> = OnceLock::new();
     REGISTRY.get_or_init(|| SHAPES.iter().map(|s| (s.name, expand(s))).collect())
 }
 

@@ -8,11 +8,14 @@ use dcra_smt::sim::{SimConfig, Simulator};
 use dcra_smt::workloads::{spec, TraceGenerator};
 
 fn sim(benches: &[&str], policy: &str, seed: u64) -> Simulator {
-    let profiles: Vec<_> = benches.iter().map(|b| spec::profile(b).unwrap()).collect();
+    let profiles: Vec<_> = benches
+        .iter()
+        .map(|b| spec::profile(b).expect("registry benchmark"))
+        .collect();
     Simulator::new(
         SimConfig::baseline(benches.len()),
         &profiles,
-        by_name(policy).unwrap(),
+        by_name(policy).expect("known policy name"),
         seed,
     )
 }

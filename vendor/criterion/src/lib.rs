@@ -8,6 +8,8 @@
 //! HTML reports. Good enough to rank policies and catch order-of-magnitude
 //! regressions; swap in real criterion when registry access exists.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

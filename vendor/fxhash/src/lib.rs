@@ -12,6 +12,8 @@
 //! API subset of the real `fxhash` crate: [`FxHasher`],
 //! [`FxBuildHasher`], [`FxHashMap`], [`FxHashSet`], and [`hash64`].
 
+#![forbid(unsafe_code)]
+
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 

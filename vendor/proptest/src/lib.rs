@@ -16,6 +16,8 @@
 //! number and the seed is deterministic (derived from the test name), so
 //! failures reproduce exactly on re-run.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod strategy;

@@ -8,6 +8,8 @@
 //! targets), seeded through SplitMix64, so streams are deterministic,
 //! well distributed, and fast.
 
+#![forbid(unsafe_code)]
+
 use core::ops::Range;
 
 /// A random number generator producing 64-bit output.

@@ -6,6 +6,8 @@
 //! type, so generic bounds always hold) and no-op derive macros. Swapping
 //! in real serde later is a one-line change in the workspace manifest.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker trait mirroring `serde::Serialize`. Blanket-implemented.

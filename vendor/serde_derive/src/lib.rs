@@ -7,6 +7,8 @@
 //! vendored `serde` crate satisfy any trait bounds. `attributes(serde)`
 //! is declared so `#[serde(...)]` field/container attributes stay legal.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op `#[derive(Serialize)]`.
